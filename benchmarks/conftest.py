@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a reduced
+(but shape-preserving) problem size, prints the paper-style table, and
+asserts the qualitative claims.  ``--benchmark-only`` is the intended
+invocation; each harness runs once (``pedantic`` with a single round) since
+the virtual-time results are deterministic.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single deterministic round, return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,62 @@
+"""Ablation: checkpoint count C (Eq. 2) vs over/under-checkpointing.
+
+Sweeps the number of checkpoints for a fixed failure scenario on both
+clusters and verifies the tradeoff Eq. 2 / Young's rule optimises: few
+checkpoints -> long recompute after a failure; many checkpoints -> write
+overhead dominates.  The machine-optimal count should sit near the sweep's
+minimum total time.
+"""
+
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.experiments.report import format_table
+from repro.ft.checkpoint import optimal_checkpoint_count
+from repro.machine.presets import OPL
+
+from .conftest import run_once
+
+SCALE = 3000.0  # paper-scale virtual compute (t_app ~ 5 s)
+
+
+def _run(count):
+    cfg = AppConfig(n=8, level=4, technique_code="CR", steps=64,
+                    diag_procs=4, checkpoint_count=count,
+                    compute_scale=SCALE, simulated_lost_gids=(2,))
+    m = run_app(cfg, OPL)
+    return m
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_checkpoint_count_tradeoff(benchmark):
+    counts = (1, 2, 4, 8, 16, 32)
+
+    def sweep():
+        return {c: _run(c) for c in counts}
+
+    results = run_once(benchmark, sweep)
+    rows = [[c, m.t_total, m.checkpoint_write_time,
+             m.t_recovery, m.recompute_steps] for c, m in results.items()]
+    print()
+    print(format_table(
+        ["C", "total(s)", "write(s)", "recovery(s)", "recompute"],
+        rows, title="Ablation: checkpoint count sweep (OPL, 1 lost grid)"))
+
+    totals = {c: m.t_total for c, m in results.items()}
+    # write overhead strictly grows with C
+    writes = [results[c].checkpoint_write_time for c in counts]
+    assert writes == sorted(writes)
+    # recompute shrinks as C grows
+    assert results[32].recompute_steps <= results[1].recompute_steps
+    # the extremes are worse than the middle: a genuine tradeoff
+    best = min(totals, key=totals.get)
+    assert totals[best] <= totals[1]
+    assert totals[best] <= totals[32]
+
+    # the machine-optimal rule lands within 2x of the sweep's best time
+    cfg = AppConfig(n=8, level=4, technique_code="CR", steps=64,
+                    diag_procs=4, compute_scale=SCALE)
+    est = cfg.estimated_solve_time(OPL)
+    c_opt = optimal_checkpoint_count(est, OPL.t_io)
+    nearest = min(counts, key=lambda c: abs(c - c_opt))
+    assert totals[nearest] <= 2.0 * totals[best]

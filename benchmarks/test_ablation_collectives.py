@@ -1,0 +1,78 @@
+"""Ablation: simulator collective scaling vs the analytic model, and the
+cost of the beta ULFM against a hypothetical fixed implementation.
+
+Sanity-checks that the virtual-time engine reproduces the cost model it is
+configured with (log-tree collectives), and quantifies how much of the
+Fig. 8/11 overhead is attributable to the beta-ULFM curves by swapping in
+the ``OPL_FIXED_ULFM`` preset.
+"""
+
+import math
+
+import pytest
+
+from repro.core import AppConfig, baseline_solve_time, plan_failures, run_app
+from repro.experiments.report import format_table
+from repro.machine.presets import OPL, OPL_FIXED_ULFM
+from repro.mpi import Universe
+
+from .conftest import run_once
+
+
+def measure_barrier(n):
+    async def main(ctx):
+        t0 = ctx.wtime()
+        await ctx.comm.barrier()
+        return ctx.wtime() - t0
+
+    uni = Universe(OPL)
+    job = uni.launch(n, main)
+    uni.run()
+    return job.results()[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_collective_scaling_matches_analytic_model(benchmark):
+    sizes = (2, 4, 8, 16, 64, 128)
+
+    def sweep():
+        return {n: measure_barrier(n) for n in sizes}
+
+    measured = run_once(benchmark, sweep)
+    rows = [[n, measured[n], OPL.barrier_cost(n)] for n in sizes]
+    print()
+    print(format_table(["procs", "measured(s)", "model(s)"], rows,
+                       title="Ablation: barrier cost vs log-tree model",
+                       floatfmt="12.3e"))
+    for n in sizes:
+        assert measured[n] == pytest.approx(OPL.barrier_cost(n), rel=1e-6)
+        assert measured[n] == pytest.approx(
+            math.ceil(math.log2(n)) * OPL.alpha, rel=1e-6)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_fixed_ulfm_removes_reconstruction_blowup(benchmark):
+    def compare():
+        out = {}
+        for machine in (OPL, OPL_FIXED_ULFM):
+            cfg = AppConfig(n=7, level=4, technique_code="AC", steps=8,
+                            diag_procs=16, layout_mode="sweep")
+            t = baseline_solve_time(cfg, machine)
+            kills = plan_failures(cfg, 2, max(t * 0.5, 1e-9), seed=0)
+            cfg = AppConfig(n=7, level=4, technique_code="AC", steps=8,
+                            diag_procs=16, layout_mode="sweep")
+            out[machine.name] = run_app(cfg, machine, kills=kills)
+        return out
+
+    results = run_once(benchmark, compare)
+    rows = [[name, m.t_reconstruct, m.t_total]
+            for name, m in results.items()]
+    print()
+    print(format_table(["machine", "reconstruct(s)", "total(s)"], rows,
+                       title="Ablation: beta vs fixed ULFM, 76 cores, "
+                             "2 failures"))
+    beta = results["OPL"]
+    fixed = results["OPL-fixed-ulfm"]
+    # identical numerics, wildly different recovery cost
+    assert fixed.error_l1 == pytest.approx(beta.error_l1, rel=1e-9)
+    assert beta.t_reconstruct > 100 * fixed.t_reconstruct

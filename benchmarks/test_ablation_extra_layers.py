@@ -1,0 +1,57 @@
+"""Ablation: Alternate Combination redundancy depth (the paper fixes two
+extra layers; its future work asks about other configurations).
+
+More layers cost more processes but tolerate deeper loss patterns: with a
+single extra layer, losing two adjacent diagonal grids *plus* the lower
+grid between them forces the greedy GCP to discard a surviving grid
+(accuracy hit); with two layers the required meet grid exists and accuracy
+is preserved.
+"""
+
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.experiments.report import format_table
+from repro.machine.presets import IDEAL
+
+from .conftest import run_once
+
+
+def _run(extra_layers, lost):
+    cfg = AppConfig(n=8, level=4, technique_code="AC", steps=32,
+                    diag_procs=4, extra_layers=extra_layers,
+                    simulated_lost_gids=lost)
+    return run_app(cfg, IDEAL)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_extra_layers_accuracy_vs_redundancy(benchmark):
+    # gids 1, 2 are adjacent diagonals; gid 5 is the lower grid between
+    # them — losing all three leaves a hole only a layer-3 grid can patch
+    def sweep():
+        out = {}
+        for layers in (1, 2):
+            base = _run(layers, ())
+            hit = _run(layers, (1, 2, 5))
+            out[layers] = (base, hit)
+        return out
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for layers, (base, hit) in results.items():
+        rows.append([layers, base.world_size, base.error_l1, hit.error_l1,
+                     hit.error_l1 / base.error_l1])
+    print()
+    print(format_table(
+        ["layers", "procs", "baseline l1", "2-adj-loss l1", "ratio"],
+        rows, title="Ablation: AC extra layers vs adjacent-diagonal loss",
+        floatfmt="12.4e"))
+
+    base1, hit1 = results[1]
+    base2, hit2 = results[2]
+    # identical failure-free accuracy
+    assert base1.error_l1 == pytest.approx(base2.error_l1, rel=1e-9)
+    # two layers use more processes...
+    assert base2.world_size > base1.world_size
+    # ...but absorb the adjacent double loss far better
+    assert hit2.error_l1 < hit1.error_l1

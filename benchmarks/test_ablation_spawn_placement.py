@@ -1,0 +1,63 @@
+"""Ablation: re-spawn placement policy.
+
+The paper re-spawns replacements on the host the failed rank occupied
+(preserving load balance); its future work proposes spare nodes.  This
+bench compares same-host, spare-node and naive first-fit placement and
+verifies the host assignments each policy produces.
+"""
+
+import pytest
+
+from repro.core import AppConfig, plan_failures, run_app, baseline_solve_time
+from repro.experiments.report import format_table
+from repro.ft import PLACE_FIRST_FIT, PLACE_SAME_HOST, PLACE_SPARE
+from repro.machine.presets import OPL
+
+from .conftest import run_once
+
+
+def _run(placement):
+    cfg = AppConfig(n=7, level=4, technique_code="AC", steps=16,
+                    diag_procs=4, placement=placement)
+    t = baseline_solve_time(cfg, OPL)
+    kills = plan_failures(cfg, 2, max(t * 0.5, 1e-9), seed=3)
+    cfg = AppConfig(n=7, level=4, technique_code="AC", steps=16,
+                    diag_procs=4, placement=placement)
+    from repro.core.runner import make_universe
+    from repro.core.app import app_main
+    from repro.ft.failure_injection import FailureGenerator
+    uni, total = make_universe(cfg, OPL, n_spares=2)
+    job = uni.launch(total, app_main, argv=(cfg,))
+    FailureGenerator().inject(uni, job, kills)
+    uni.run()
+    metrics = job.results()[0]
+    spawned_hosts = {p.name: p.host.name
+                     for j in uni.jobs[1:] for p in j.procs}
+    original_hosts = {k.rank: uni.hostfile.host_of_rank(
+        k.rank, OPL.cores_per_node).name for k in kills}
+    return metrics, spawned_hosts, original_hosts
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_spawn_placement_policies(benchmark):
+    def sweep():
+        return {p: _run(p) for p in (PLACE_SAME_HOST, PLACE_SPARE,
+                                     PLACE_FIRST_FIT)}
+
+    results = run_once(benchmark, sweep)
+    rows = [[policy, m.t_total, m.n_failures, ";".join(sorted(hosts.values()))]
+            for policy, (m, hosts, _orig) in results.items()]
+    print()
+    print(format_table(["policy", "total(s)", "failures", "spawn hosts"],
+                       rows, title="Ablation: re-spawn placement policy"))
+
+    same_m, same_hosts, originals = results[PLACE_SAME_HOST]
+    spare_m, spare_hosts, _ = results[PLACE_SPARE]
+    # the paper's policy: every replacement lands on its predecessor's host
+    assert sorted(same_hosts.values()) == sorted(originals.values())
+    # the future-work policy: replacements land on spare nodes
+    assert all(h.startswith("spare") for h in spare_hosts.values())
+    # all policies recover fully
+    for m, _h, _o in results.values():
+        assert m.n_failures == 2
+        assert m.error_l1 == pytest.approx(same_m.error_l1, rel=1e-9)

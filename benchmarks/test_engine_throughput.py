@@ -1,0 +1,69 @@
+"""Simulator performance: event throughput and message rate.
+
+Not a paper figure — a performance regression guard for the substrate
+itself (a discrete-event simulator that slows down makes every experiment
+above it slower).
+"""
+
+import pytest
+
+from repro.machine.presets import IDEAL
+from repro.mpi import Universe
+
+
+def ping_pong_run(n_pairs: int, n_rounds: int):
+    async def main(ctx):
+        partner = ctx.rank ^ 1
+        if ctx.rank % 2 == 0:
+            for i in range(n_rounds):
+                await ctx.comm.send(i, dest=partner, tag=0)
+                await ctx.comm.recv(source=partner, tag=1)
+        else:
+            for i in range(n_rounds):
+                await ctx.comm.recv(source=partner, tag=0)
+                await ctx.comm.send(i, dest=partner, tag=1)
+        return None
+
+    uni = Universe(IDEAL)
+    uni.launch(2 * n_pairs, main)
+    uni.run()
+    return uni
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_engine_message_throughput(benchmark):
+    n_pairs, n_rounds = 8, 500
+
+    def run():
+        return ping_pong_run(n_pairs, n_rounds)
+
+    uni = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    messages = uni.stats.messages
+    assert messages == 2 * n_pairs * n_rounds
+    events = uni.engine.events_processed
+    rate = messages / benchmark.stats["mean"]
+    print(f"\n{messages} messages, {events} engine events, "
+          f"{rate:,.0f} msg/s wall")
+    # regression guard: a healthy build sustains well over 10k msg/s
+    assert rate > 10_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_engine_collective_throughput(benchmark):
+    async def main(ctx):
+        for _ in range(200):
+            await ctx.comm.allreduce(ctx.rank)
+        return None
+
+    def run():
+        uni = Universe(IDEAL)
+        uni.launch(16, main)
+        uni.run()
+        return uni
+
+    uni = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    colls = uni.stats.collectives["allreduce"]
+    assert colls == 16 * 200
+    rate = 200 / benchmark.stats["mean"]
+    print(f"\n{colls} allreduce calls, {rate:,.0f} rounds/s wall")
+    assert rate > 200

@@ -1,0 +1,38 @@
+"""Fig. 10: average l1 approximation error of the combined solution after
+recovery, vs number of lost grids, for CR / RC / AC."""
+
+import pytest
+
+from repro.experiments.fig10 import format_fig10, run_fig10
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_approximation_error(benchmark):
+    pts = run_once(benchmark, lambda: run_fig10(
+        n=8, steps=64, lost_counts=(0, 1, 2, 3, 4, 5),
+        seeds=tuple(range(8))))
+    print()
+    print(format_fig10(pts))
+    by = {(p.technique, p.n_lost): p for p in pts}
+    base = by[("CR", 0)].error_l1
+    # all three agree on the failure-free baseline
+    assert by[("RC", 0)].error_l1 == pytest.approx(base, rel=1e-9)
+    assert by[("AC", 0)].error_l1 == pytest.approx(base, rel=1e-9)
+    # CR: exact recovery, error independent of losses
+    for k in range(6):
+        assert by[("CR", k)].error_l1 == pytest.approx(base, rel=1e-9)
+    # RC/AC: error grows with losses but stays bounded
+    assert by[("AC", 5)].error_l1 > by[("AC", 1)].error_l1
+    assert by[("RC", 5)].error_l1 > base
+    # AC single failure: a small penalty.  (The paper reports "a few
+    # percent" at n=13; the penalty shrinks with resolution — a lost
+    # diagonal at our n=8 costs ~4% — and the average over random single
+    # losses, which can hit lower grids, sits a little higher.)
+    assert by[("AC", 1)].ratio < 4.0
+    # the paper's surprise: AC is more accurate than RC on average over
+    # multi-grid losses
+    ac_avg = sum(by[("AC", k)].error_l1 for k in (2, 3, 4, 5)) / 4
+    rc_avg = sum(by[("RC", k)].error_l1 for k in (2, 3, 4, 5)) / 4
+    assert ac_avg < rc_avg

@@ -1,0 +1,27 @@
+"""Fig. 11b: overall parallel efficiency vs core count."""
+
+import pytest
+
+from repro.experiments.fig11 import format_fig11, run_fig11
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_parallel_efficiency(benchmark):
+    pts = run_once(benchmark, lambda: run_fig11(
+        n=9, steps=64, diag_procs=(2, 4, 8), failure_counts=(0, 2),
+        seeds=(0,), checkpoint_count=4, compute_scale=2400.0))
+    print()
+    print(format_fig11(pts))
+    by = {(p.technique, p.n_failures, p.cores): p for p in pts}
+    # compute-dominated regime: AC and RC stay above ~80% efficiency with
+    # no failures (paper: "more than 80% parallel efficiency")
+    assert by[("AC", 0, 49)].efficiency > 0.8
+    assert by[("RC", 0, 76)].efficiency > 0.8
+    # CR is less scalable: its fixed checkpoint cost drags efficiency
+    assert by[("CR", 0, 44)].efficiency < by[("AC", 0, 49)].efficiency
+    # with two failures the beta-ULFM reconstruction wrecks efficiency at
+    # scale (paper: "performances vary greatly for two failures")
+    assert by[("AC", 2, 49)].efficiency < by[("AC", 0, 49)].efficiency
+    assert by[("RC", 2, 76)].efficiency < 0.5 * by[("RC", 0, 76)].efficiency

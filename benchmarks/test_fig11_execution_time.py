@@ -1,0 +1,30 @@
+"""Fig. 11a: overall execution time vs core count for {CR, RC, AC} x
+{0, 1, 2 failures}."""
+
+import pytest
+
+from repro.experiments.fig11 import format_fig11, run_fig11
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_overall_execution_time(benchmark):
+    pts = run_once(benchmark, lambda: run_fig11(
+        n=8, steps=32, diag_procs=(2, 4, 8), failure_counts=(0, 1, 2),
+        seeds=(0,), checkpoint_count=4, compute_scale=500.0))
+    print()
+    print(format_fig11(pts))
+    by = {(p.technique, p.n_failures, p.cores): p for p in pts}
+    # CR most costly at every scale with zero failures (checkpoint writes
+    # + per-checkpoint detection); AC cheapest
+    for cr_cores, rc_cores, ac_cores in ((11, 19, 14), (22, 38, 25),
+                                         (44, 76, 49)):
+        cr = by[("CR", 0, cr_cores)].t_total
+        rc = by[("RC", 0, rc_cores)].t_total
+        ac = by[("AC", 0, ac_cores)].t_total
+        assert cr > ac
+        assert rc >= ac * 0.99
+    # failures add cost for the redundancy-based techniques
+    assert by[("AC", 2, 49)].t_total > by[("AC", 0, 49)].t_total
+    assert by[("RC", 2, 76)].t_total > by[("RC", 0, 76)].t_total

@@ -1,0 +1,28 @@
+"""Fig. 8a: time to create the list of failed processes, vs core count,
+for one and two real process failures."""
+
+import pytest
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.report import check_monotone_increasing
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_failed_list_creation_time(benchmark):
+    pts = run_once(benchmark, lambda: run_fig8(
+        diag_procs=(4, 8, 16, 32, 64), failure_counts=(1, 2), steps=8))
+    print()
+    print(format_fig8(pts))
+    one = [p.t_failed_list for p in pts if p.n_failures == 1]
+    two = [p.t_failed_list for p in pts if p.n_failures == 2]
+    cores = [p.cores for p in pts if p.n_failures == 2]
+    assert cores == [19, 38, 76, 152, 304]
+    # grows with core count (small slack for flat low end)
+    assert check_monotone_increasing(one, slack=0.01)
+    assert check_monotone_increasing(two, slack=0.01)
+    # the 2-failure case is dramatically worse at scale (Sec. III-A)
+    assert two[-1] > 10 * one[-1]
+    # shrink dominates the failed-list creation time at 2 failures
+    assert two[2] == pytest.approx(43.35, rel=0.1)

@@ -1,0 +1,27 @@
+"""Fig. 8b: faulty-communicator reconstruction time vs core count, for one
+and two real process failures."""
+
+import pytest
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.report import check_monotone_increasing
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_communicator_reconstruction_time(benchmark):
+    pts = run_once(benchmark, lambda: run_fig8(
+        diag_procs=(4, 8, 16, 32, 64), failure_counts=(1, 2), steps=8))
+    print()
+    print(format_fig8(pts))
+    one = [p.t_reconstruct for p in pts if p.n_failures == 1]
+    two = [p.t_reconstruct for p in pts if p.n_failures == 2]
+    assert check_monotone_increasing(one, slack=0.01)
+    assert check_monotone_increasing(two, slack=0.01)
+    # reconstruction includes spawn+shrink+agree+merge: it exceeds the
+    # failed-list-creation time everywhere
+    for p in pts:
+        assert p.t_reconstruct >= p.t_failed_list
+    # the beta-ULFM 2-failure blow-up (paper: "unsatisfactory")
+    assert two[-1] > 20 * one[-1]

@@ -1,0 +1,37 @@
+"""Fig. 9b: process-time data-recovery overhead (the paper's normalisation
+charging RC/AC for their extra processes).
+
+At the paper-scale timing regime: CR worst / AC best on OPL, while on
+Raijin (T_I/O = 0.03 s) checkpointing is cheapest — the paper's headline
+crossover.
+"""
+
+import pytest
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.machine.presets import OPL, RAIJIN
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_process_time_overhead_crossover(benchmark):
+    pts = run_once(benchmark, lambda: run_fig9(
+        n=9, steps=256, diag_procs=8, lost_counts=(1, 3),
+        seeds=(0,), machines=(OPL, RAIJIN),
+        checkpoint_count=None, compute_scale=600.0))
+    print()
+    print(format_fig9(pts))
+    by = {(p.machine, p.technique, p.n_lost): p for p in pts}
+    # OPL: CR shows the most process-time overhead, AC the least, RC between
+    for lost in (1, 3):
+        cr = by[("OPL", "CR", lost)].process_time_overhead
+        rc = by[("OPL", "RC", lost)].process_time_overhead
+        ac = by[("OPL", "AC", lost)].process_time_overhead
+        assert cr > rc > ac
+    # Raijin: checkpointing has the least overhead (ultra-low T_I/O)
+    for lost in (1, 3):
+        cr = by[("Raijin", "CR", lost)].process_time_overhead
+        rc = by[("Raijin", "RC", lost)].process_time_overhead
+        ac = by[("Raijin", "AC", lost)].process_time_overhead
+        assert cr < ac < rc

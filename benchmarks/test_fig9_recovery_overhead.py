@@ -1,0 +1,36 @@
+"""Fig. 9a: failed-grid data-recovery overhead for CR / RC / AC on OPL and
+Raijin, 1..5 simulated lost grids (reconstruction excluded, as in the
+paper)."""
+
+import pytest
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.machine.presets import OPL, RAIJIN
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_recovery_overhead(benchmark):
+    pts = run_once(benchmark, lambda: run_fig9(
+        n=8, steps=8, diag_procs=8, lost_counts=(1, 2, 3, 4, 5),
+        seeds=(0, 1), machines=(OPL, RAIJIN)))
+    print()
+    print(format_fig9(pts))
+    by = {(p.machine, p.technique, p.n_lost): p for p in pts}
+    for machine in ("OPL", "Raijin"):
+        # CR highest, AC lowest, RC between (Sec. III-B)
+        for lost in (1, 3, 5):
+            cr = by[(machine, "CR", lost)].recovery_overhead
+            rc = by[(machine, "RC", lost)].recovery_overhead
+            ac = by[(machine, "AC", lost)].recovery_overhead
+            assert cr > rc > ac
+        # "data recovery time is almost independent of the number of lost
+        # grids in all cases"
+        for tech in ("CR", "RC", "AC"):
+            series = [by[(machine, tech, k)].recovery_overhead
+                      for k in (1, 2, 3, 4, 5)]
+            assert max(series) < 5 * max(min(series), 1e-12)
+    # CR's overhead is dominated by T_I/O: OPL >> Raijin
+    assert by[("OPL", "CR", 1)].recovery_overhead > \
+        20 * by[("Raijin", "CR", 1)].recovery_overhead

@@ -1,0 +1,30 @@
+"""Table I: beta-ULFM operation wall times with two process failures.
+
+Regenerates the full 19..304-core table through the real reconstruction
+protocol and checks the measured values against the paper's numbers.
+"""
+
+import pytest
+
+from repro.experiments.table1 import (PAPER_TABLE1, format_table1, run_table1)
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_ulfm_operation_times(benchmark):
+    rows = run_once(benchmark, lambda: run_table1(steps=8))
+    print()
+    print(format_table1(rows))
+    by_cores = {r.cores: r for r in rows}
+    assert set(by_cores) == set(PAPER_TABLE1)
+    for cores, (spawn, shrink, agree, merge) in PAPER_TABLE1.items():
+        row = by_cores[cores]
+        assert row.spawn == pytest.approx(spawn, rel=0.05)
+        assert row.shrink == pytest.approx(shrink, rel=0.05)
+        assert row.agree == pytest.approx(agree, rel=0.10)
+        assert row.merge == pytest.approx(merge, rel=0.10)
+    # spawn and shrink dominate and grow with core count (the paper's
+    # diagnosis of the 2-failure slowdown)
+    assert by_cores[304].spawn > by_cores[304].agree > by_cores[304].merge
+    assert by_cores[304].spawn > by_cores[38].spawn > by_cores[19].spawn

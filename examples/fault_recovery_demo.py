@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Fault-recovery walkthrough: inject *real* process failures mid-run and
+watch the full ULFM recovery pipeline — detection, revoke/shrink,
+same-host re-spawn, intercommunicator merge, rank re-ordering and data
+recovery — for each of the paper's three techniques.
+
+Run:  python examples/fault_recovery_demo.py
+"""
+
+from repro.core import AppConfig, baseline_solve_time, plan_failures, run_app
+from repro.machine.presets import OPL
+
+
+def demo(technique: str, n_failures: int) -> None:
+    cfg = AppConfig(n=7, level=4, technique_code=technique, steps=32,
+                    diag_procs=4, checkpoint_count=4)
+    layout = cfg.layout()
+    t_solve = baseline_solve_time(cfg, OPL)
+    kills = plan_failures(cfg, n_failures, at=t_solve * 0.5, seed=42)
+
+    cfg = AppConfig(n=7, level=4, technique_code=technique, steps=32,
+                    diag_procs=4, checkpoint_count=4)
+    m = run_app(cfg, OPL, kills=kills)
+
+    victims = ", ".join(
+        f"rank {k.rank} (grid {layout.gid_of(k.rank)})" for k in kills)
+    print(f"--- {m.technique}: {n_failures} failure(s) on {m.world_size} "
+          f"ranks ---")
+    print(f"  killed              : {victims} at t={kills[0].at:.4f}s")
+    print(f"  failed ranks found  : {m.failed_ranks}")
+    print(f"  lost sub-grids      : {m.lost_gids}")
+    print(f"  failed-list time    : {m.t_detect:.4f} s   (Fig. 8a)")
+    print(f"  reconstruction time : {m.t_reconstruct:.4f} s   (Fig. 8b)")
+    print(f"    shrink {m.t_shrink:.4f}s  spawn {m.t_spawn:.4f}s  "
+          f"agree {m.t_agree:.4f}s  merge {m.t_merge:.4f}s   (Table I)")
+    print(f"  data recovery time  : {m.t_recovery:.6f} s   (Fig. 9a)")
+    if technique == "CR":
+        print(f"    checkpoints written {m.checkpoint_writes}, "
+              f"recomputed {m.recompute_steps} steps")
+    print(f"  final l1 error      : {m.error_l1:.4e}")
+    print(f"  total virtual time  : {m.t_total:.4f} s")
+    print()
+
+
+def main():
+    print("Application-level fault recovery with simulated ULFM Open MPI")
+    print("=" * 64)
+    for technique in ("CR", "RC", "AC"):
+        for n_failures in (1, 2):
+            demo(technique, n_failures)
+
+
+if __name__ == "__main__":
+    main()

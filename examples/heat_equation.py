@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Beyond the paper: the same fault-tolerant combination machinery solving
+a different PDE — the 2D heat equation — with a mid-run process failure.
+
+The combination technique, the recovery protocols and the simulated ULFM
+runtime are all problem-agnostic; only the stencil kernel and the exact
+solution change.
+
+Run:  python examples/heat_equation.py
+"""
+
+from repro.core import AppConfig, run_app
+from repro.ft.failure_injection import Kill
+from repro.machine.presets import OPL
+from repro.pde import DiffusionProblem
+
+
+def main():
+    problem = DiffusionProblem(kappa=0.05)
+    base_cfg = AppConfig(n=7, level=4, technique_code="AC", steps=64,
+                         diag_procs=4, problem=problem, cfl=0.2)
+    base = run_app(base_cfg, OPL)
+    print("2D heat equation, sparse grid combination, simulated ULFM MPI")
+    print(f"  world size        : {base.world_size} ranks")
+    print(f"  baseline l1 error : {base.error_l1:.4e}")
+
+    cfg = AppConfig(n=7, level=4, technique_code="AC", steps=64,
+                    diag_procs=4, problem=problem, cfl=0.2)
+    m = run_app(cfg, OPL, kills=[Kill(rank=6, at=base.t_solve * 0.5)])
+    print(f"\nafter killing rank 6 mid-run:")
+    print(f"  lost grid(s)      : {m.lost_gids}")
+    print(f"  reconstruction    : {m.t_reconstruct:.4f} s")
+    print(f"  recovered l1 error: {m.error_l1:.4e} "
+          f"({m.error_l1 / base.error_l1:.2f}x baseline)")
+
+
+if __name__ == "__main__":
+    main()

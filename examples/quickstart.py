@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: solve the 2D advection problem with the sparse grid
+combination technique on simulated MPI, lose a sub-grid, recover it with
+the Alternate Combination technique, and report the accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AppConfig, run_app
+from repro.machine.presets import OPL
+
+
+def main():
+    # --- a failure-free run -------------------------------------------------
+    cfg = AppConfig(
+        n=8,                   # full grid 2^8+1 x 2^8+1
+        level=4,               # combination level (4 diagonal + 3 lower grids)
+        technique_code="AC",   # Alternate Combination recovery
+        steps=64,              # Lax-Wendroff timesteps
+        diag_procs=4,          # processes per diagonal grid (paper uses 8)
+    )
+    base = run_app(cfg, OPL)
+    print(f"combination scheme : {cfg.scheme().describe().splitlines()[0]}")
+    print(f"world size         : {base.world_size} simulated MPI ranks")
+    print(f"baseline l1 error  : {base.error_l1:.4e}")
+    print(f"virtual run time   : {base.t_total:.4f} s on {base.machine}")
+
+    # --- lose a diagonal sub-grid, recover via new coefficients -------------
+    cfg = AppConfig(n=8, level=4, technique_code="AC", steps=64,
+                    diag_procs=4, simulated_lost_gids=(1,))
+    hit = run_app(cfg, OPL)
+    print(f"\nafter losing grid 1 {cfg.scheme()[1].index}:")
+    print(f"recovered l1 error : {hit.error_l1:.4e} "
+          f"({hit.error_l1 / base.error_l1:.2f}x baseline)")
+    print(f"recovery overhead  : {hit.t_recovery:.6f} s "
+          "(new combination coefficients only)")
+    print("alternate combination coefficients:")
+    for ix, c in sorted(hit.coefficients.items()):
+        print(f"  grid {ix}: {c:+.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Compare the three data-recovery techniques on both of the paper's
+clusters: recovery overhead (Fig. 9) and accuracy after losses (Fig. 10),
+side by side.
+
+Run:  python examples/technique_comparison.py
+"""
+
+from repro.core import AppConfig, choose_lost_grids, run_app
+from repro.experiments.fig9 import recovery_overhead
+from repro.experiments.report import format_table
+from repro.machine.presets import IDEAL, OPL, RAIJIN
+
+
+def overhead_table():
+    rows = []
+    for machine in (OPL, RAIJIN):
+        for code in ("CR", "RC", "AC"):
+            cfg = AppConfig(n=8, level=4, technique_code=code, steps=16,
+                            diag_procs=8, checkpoint_count=4)
+            lost = choose_lost_grids(cfg, 2, seed=1)
+            cfg = AppConfig(n=8, level=4, technique_code=code, steps=16,
+                            diag_procs=8, checkpoint_count=4,
+                            simulated_lost_gids=lost)
+            m = run_app(cfg, machine)
+            rows.append([machine.name, code, m.world_size,
+                         recovery_overhead(m), m.t_total])
+    print(format_table(
+        ["cluster", "tech", "procs", "recovery(s)", "total(s)"], rows,
+        title="Recovery overhead, 2 lost grids (simulated failures)",
+        floatfmt="12.5f"))
+
+
+def accuracy_table():
+    rows = []
+    for code in ("CR", "RC", "AC"):
+        base_cfg = AppConfig(n=8, level=4, technique_code=code, steps=64,
+                             diag_procs=2, checkpoint_count=4)
+        base = run_app(base_cfg, IDEAL)
+        for n_lost in (1, 3, 5):
+            errs = []
+            for seed in range(4):
+                probe = AppConfig(n=8, level=4, technique_code=code,
+                                  steps=64, diag_procs=2, checkpoint_count=4)
+                lost = choose_lost_grids(probe, n_lost, seed=seed)
+                cfg = AppConfig(n=8, level=4, technique_code=code, steps=64,
+                                diag_procs=2, checkpoint_count=4,
+                                simulated_lost_gids=lost)
+                errs.append(run_app(cfg, IDEAL).error_l1)
+            avg = sum(errs) / len(errs)
+            rows.append([code, n_lost, avg, avg / base.error_l1])
+    print()
+    print(format_table(
+        ["tech", "lost", "avg l1 error", "vs baseline"], rows,
+        title="Accuracy after recovery (avg over 4 random loss patterns)",
+        floatfmt="12.4e"))
+
+
+def main():
+    overhead_table()
+    accuracy_table()
+    print("\nReading guide: CR pays disk I/O but recovers exactly; RC pays "
+          "replica processes\n(exact for diagonal losses, approximate for "
+          "resampled lower grids); AC pays\nalmost nothing and recovers "
+          "approximately - in the paper's multi-loss regime it\nbeats RC's "
+          "resampling on average.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Educational tour of the simulated ULFM primitives, outside the PDE app:
+error returns on failure, revoke, shrink, agree, same-host spawn, merge
+and rank re-ordering — the building blocks of the paper's Figs. 3-7.
+
+Run:  python examples/ulfm_primitives.py
+"""
+
+from repro.ft import failed_procs_list, select_rank_key
+from repro.machine import Hostfile
+from repro.machine.presets import OPL
+from repro.mpi import ProcFailedError, Universe
+
+
+async def worker(ctx):
+    comm = ctx.comm
+    log = lambda msg: ctx.rank == 0 and print(f"  [t={ctx.wtime():.4f}s] {msg}")
+
+    # 1. everyone is healthy: a barrier succeeds
+    await comm.barrier()
+    log(f"barrier ok on {comm.size} ranks")
+
+    # 2. rank 3 is killed at t=0.5 while we compute
+    await ctx.compute(1.0)
+
+    # 3. the next collective reports MPI_ERR_PROC_FAILED
+    try:
+        await comm.barrier()
+        log("barrier ok (unexpected)")
+    except ProcFailedError as exc:
+        log(f"barrier failed: MPI_ERR_PROC_FAILED, ranks {exc.failed_ranks}")
+
+    # 4. acknowledge and identify the failures
+    comm.failure_ack()
+    acked = comm.failure_get_acked()
+    log(f"failure_get_acked: {acked.size} dead process(es)")
+
+    # 5. revoke unblocks everyone, shrink rebuilds a working communicator
+    comm.revoke()
+    shrunk = await comm.shrink()
+    failed_ranks, total = failed_procs_list(comm, shrunk)
+    log(f"shrink: {comm.size} -> {shrunk.size} ranks; failed list "
+        f"{failed_ranks} (Fig. 6)")
+
+    # 6. re-spawn the dead rank on its original host (Fig. 5)
+    host = ctx.universe.hostfile.host_of_rank(failed_ranks[0])
+    inter = await shrunk.spawn_multiple(total, replacement,
+                                        host_names=[host.name])
+    log(f"spawned {total} replacement(s) on {host.name}")
+
+    # 7. merge and restore the original rank order (Figs. 2, 7)
+    merged = await inter.merge(high=False)
+    await inter.agree(1)
+    if merged.rank == 0:
+        for i, old in enumerate(failed_ranks):
+            await merged.send(old, dest=shrunk.size + i, tag=1)
+    key = select_rank_key(merged.rank, shrunk.size, failed_ranks, comm.size)
+    repaired = await merged.split(0, key)
+    total_check = await repaired.allreduce(1)
+    log(f"repaired communicator: rank {repaired.rank}/{repaired.size}, "
+        f"{total_check} participants (original order restored)")
+    return (comm.rank, repaired.rank)
+
+
+async def replacement(ctx):
+    parent = ctx.get_parent()
+    await parent.agree(1)
+    merged = await parent.merge(high=True)
+    old_rank = await merged.recv(source=0, tag=1)
+    repaired = await merged.split(0, old_rank)
+    await repaired.allreduce(1)
+    print(f"  [t={ctx.wtime():.4f}s] replacement regained rank "
+          f"{repaired.rank}/{repaired.size}")
+    return ("respawned", repaired.rank)
+
+
+def main():
+    print("ULFM primitives walkthrough (6 ranks, rank 3 dies at t=0.5)")
+    uni = Universe(OPL, hostfile=Hostfile.uniform(3, slots=2))
+    job = uni.launch(6, worker)
+    uni.kill_rank(job, 3, at=0.5)
+    uni.run(raise_task_failures=False)
+    print("final per-rank (old, new) ranks:", job.results())
+
+
+if __name__ == "__main__":
+    main()

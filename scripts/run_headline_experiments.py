@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run every paper experiment at the headline (EXPERIMENTS.md) parameters
+and dump the formatted tables.  Slower than the benchmark suite; intended
+to be run once to refresh EXPERIMENTS.md.
+
+Usage: python scripts/run_headline_experiments.py [outfile]
+"""
+
+import sys
+import time
+
+from repro.experiments import fig8, fig9, fig10, fig11, table1
+
+
+def main():
+    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+
+    def section(title, fn):
+        t0 = time.time()
+        text = fn()
+        print(f"\n## {title}\n", file=out)
+        print(text, file=out)
+        print(f"[wall {time.time() - t0:.0f}s]", file=out)
+        out.flush()
+
+    section("Table I (2 real failures, 19..304 cores)",
+            lambda: table1.format_table1(table1.run_table1(steps=8)))
+
+    section("Fig. 8 (failure identification / reconstruction, avg 3 seeds)",
+            lambda: fig8.format_fig8(fig8.run_fig8(steps=8,
+                                                   seeds=(0, 1, 2))))
+
+    section("Fig. 9a (recovery overhead, OPL + Raijin, avg 3 seeds)",
+            lambda: fig9.format_fig9(fig9.run_fig9(
+                n=8, steps=8, diag_procs=8, seeds=(0, 1, 2))))
+
+    section("Fig. 9b (paper-scale process-time overhead)",
+            lambda: fig9.format_fig9(fig9.run_fig9_paper_scale(seeds=(0,))))
+
+    section("Fig. 10 (accuracy, n=9, avg 10 seeds)",
+            lambda: fig10.format_fig10(fig10.run_fig10(
+                n=9, steps=128, lost_counts=(0, 1, 2, 3, 4, 5),
+                seeds=tuple(range(10)))))
+
+    section("Fig. 11 (paper-scale execution time / efficiency)",
+            lambda: fig11.format_fig11(fig11.run_fig11_paper_scale()))
+
+    if out is not sys.stdout:
+        out.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Setup script.
+
+A classic ``setup.py`` (rather than pyproject.toml) is used deliberately:
+this repository targets air-gapped HPC environments where ``pip`` cannot
+fetch PEP 517 build dependencies, and the legacy ``pip install -e .`` path
+needs nothing beyond setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Application Level Fault Recovery: Using "
+        "Fault-Tolerant Open MPI in a PDE Solver' (IPDPSW 2014): a "
+        "ULFM-style fault-tolerant MPI simulator plus a sparse-grid-"
+        "combination 2D advection solver with three data-recovery "
+        "techniques."
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+)

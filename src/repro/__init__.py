@@ -1,0 +1,31 @@
+"""repro — reproduction of "Application Level Fault Recovery: Using
+Fault-Tolerant Open MPI in a PDE Solver" (Ali, Southern, Strazdins,
+Harding; IEEE IPDPSW 2014).
+
+Layers (bottom-up):
+
+* :mod:`repro.simkernel` — deterministic virtual-time coroutine engine;
+* :mod:`repro.machine`   — cluster cost models (OPL, Raijin, ...);
+* :mod:`repro.mpi`       — simulated MPI with the ULFM fault-tolerance
+  extensions (revoke / shrink / agree / failure_ack, spawn, merge);
+* :mod:`repro.pde`       — 2D advection, Lax–Wendroff, domain decomposition;
+* :mod:`repro.sparsegrid`— combination technique, coefficients, resampling;
+* :mod:`repro.ft`        — failure detection, communicator reconstruction
+  (Figs. 3-7), failure injection, the three recovery techniques;
+* :mod:`repro.core`      — the fault-tolerant application and run harness;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.core import AppConfig, run_app
+    from repro.machine.presets import OPL
+
+    cfg = AppConfig(n=7, level=4, technique_code="AC", steps=32,
+                    simulated_lost_gids=(1,))
+    metrics = run_app(cfg, OPL)
+    print(metrics.error_l1, metrics.t_total)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

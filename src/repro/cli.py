@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --technique AC --n 8 --steps 64 --failures 2
+    python -m repro experiment fig10 --quick
+    python -m repro describe --technique RC --n 8
+
+``run`` executes one application run (optionally with real failures) and
+prints the metrics; ``experiment`` regenerates one paper table/figure;
+``describe`` prints the combination scheme and process layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core import (AppConfig, baseline_solve_time, plan_failures, run_app)
+from .machine.presets import PRESETS
+
+
+def _machine(name: str):
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(PRESETS)}")
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=7, help="full grid level (2^n)")
+    p.add_argument("--level", type=int, default=4, help="combination level")
+    p.add_argument("--technique", default="AC", choices=["CR", "RC", "AC"],
+                   help="data recovery technique")
+    p.add_argument("--steps", type=int, default=32, help="timesteps")
+    p.add_argument("--diag-procs", type=int, default=4,
+                   help="processes per diagonal grid")
+    p.add_argument("--machine", default="OPL",
+                   help=f"cluster preset {sorted(PRESETS)}")
+    p.add_argument("--decomposition", default="1d", choices=["1d", "2d"])
+
+
+def cmd_run(args) -> int:
+    machine = _machine(args.machine)
+
+    def make_cfg():
+        return AppConfig(
+            n=args.n, level=args.level, technique_code=args.technique,
+            steps=args.steps, diag_procs=args.diag_procs,
+            checkpoint_count=args.checkpoints,
+            decomposition=args.decomposition,
+            compute_scale=args.compute_scale,
+            simulated_lost_gids=tuple(args.lose or ()))
+
+    kills = ()
+    if args.failures:
+        t_solve = baseline_solve_time(make_cfg(), machine)
+        kills = plan_failures(make_cfg(), args.failures,
+                              at=max(t_solve * args.failure_fraction, 1e-9),
+                              seed=args.seed)
+    metrics = run_app(make_cfg(), machine, kills=kills)
+    if args.json:
+        print(json.dumps(metrics.to_dict(), default=str, indent=2))
+    else:
+        m = metrics
+        print(f"technique          : {m.technique} on {m.machine}")
+        print(f"world size         : {m.world_size}")
+        print(f"failures           : {m.n_failures} "
+              f"(ranks {m.failed_ranks}, grids {m.lost_gids})")
+        print(f"l1 error           : {m.error_l1:.6e}")
+        print(f"total time         : {m.t_total:.4f} s")
+        print(f"  solve            : {m.t_solve:.4f} s")
+        print(f"  reconstruction   : {m.t_reconstruct:.4f} s "
+              f"(shrink {m.t_shrink:.3f}, spawn {m.t_spawn:.3f}, "
+              f"agree {m.t_agree:.3f}, merge {m.t_merge:.3f})")
+        print(f"  data recovery    : {m.t_recovery:.6f} s")
+        print(f"  combination      : {m.t_combine:.6f} s")
+        if m.checkpoint_writes:
+            print(f"  checkpoints      : {m.checkpoint_writes} writes "
+                  f"({m.checkpoint_write_time:.3f} s), "
+                  f"recompute {m.recompute_steps} steps")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import fig8, fig9, fig10, fig11, table1
+    name = args.name
+    if name == "table1":
+        print(table1.format_table1(table1.run_table1(steps=8)))
+    elif name == "fig8":
+        seeds = (0,) if args.quick else (0, 1, 2)
+        print(fig8.format_fig8(fig8.run_fig8(steps=8, seeds=seeds)))
+    elif name == "fig9":
+        if args.quick:
+            pts = fig9.run_fig9(n=7, steps=16, seeds=(0,))
+        else:
+            pts = fig9.run_fig9_paper_scale(seeds=(0,))
+        print(fig9.format_fig9(pts))
+    elif name == "fig10":
+        seeds = tuple(range(3 if args.quick else 10))
+        n = 7 if args.quick else 9
+        steps = 32 if args.quick else 128
+        print(fig10.format_fig10(fig10.run_fig10(n=n, steps=steps,
+                                                 seeds=seeds)))
+    elif name == "fig11":
+        if args.quick:
+            pts = fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
+                                  compute_scale=200.0)
+        else:
+            pts = fig11.run_fig11_paper_scale()
+        print(fig11.format_fig11(pts))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    cfg = AppConfig(n=args.n, level=args.level,
+                    technique_code=args.technique,
+                    diag_procs=args.diag_procs,
+                    decomposition=args.decomposition)
+    scheme = cfg.scheme()
+    layout = cfg.layout()
+    print(scheme.describe())
+    print()
+    print(layout.describe())
+    if cfg.technique_code.upper() == "RC":
+        print(f"\nRC replica-pair constraints: {scheme.rc_conflict_pairs()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant sparse-grid PDE solver (IPDPSW 2014 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute one application run")
+    _add_common(p_run)
+    p_run.add_argument("--failures", type=int, default=0,
+                       help="number of real process kills to inject")
+    p_run.add_argument("--failure-fraction", type=float, default=0.5,
+                       help="when to kill, as a fraction of solve time")
+    p_run.add_argument("--lose", type=int, nargs="*",
+                       help="grid ids to declare lost (simulated failures)")
+    p_run.add_argument("--checkpoints", type=int, default=4,
+                       help="CR checkpoint count (-1 = machine optimal)")
+    p_run.add_argument("--compute-scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--json", action="store_true",
+                       help="print metrics as JSON")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument("name",
+                       choices=["table1", "fig8", "fig9", "fig10", "fig11"])
+    p_exp.add_argument("--quick", action="store_true",
+                       help="small fast variant")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_desc = sub.add_parser("describe",
+                            help="print scheme and process layout")
+    _add_common(p_desc)
+    p_desc.set_defaults(fn=cmd_describe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "checkpoints", None) == -1:
+        args.checkpoints = None
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

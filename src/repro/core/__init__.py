@@ -1,0 +1,17 @@
+"""The paper's application: layout, fault-tolerant solver app, run harness."""
+
+from .app import (AC_COEFF_FLOPS, RECOVERY_TAG, AppConfig, CombinationApp,
+                  app_main, restrict_periodic)
+from .layout import GridAssignment, Layout
+from .metrics import RunMetrics
+from .runner import (baseline_solve_time, choose_lost_grids, make_universe,
+                     plan_failures, run_app)
+
+__all__ = [
+    "AppConfig", "CombinationApp", "app_main", "restrict_periodic",
+    "RECOVERY_TAG", "AC_COEFF_FLOPS",
+    "Layout", "GridAssignment",
+    "RunMetrics",
+    "run_app", "plan_failures", "baseline_solve_time", "choose_lost_grids",
+    "make_universe",
+]

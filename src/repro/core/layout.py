@@ -1,0 +1,119 @@
+"""Process layout: mapping scheme grids to process groups and world ranks.
+
+The paper's load-balancing rule: lower-diagonal grids hold half the
+unknowns of diagonal grids, so they get half the processes; each extra
+layer halves again.  Fig. 9's configuration is 8/4/2/1 processes per
+diagonal (incl. duplicate) / lower / upper-extra / lower-extra grid.
+
+Two layout builders exist:
+
+* :meth:`Layout.paper` — the halving rule above (Figs. 9-11);
+* :meth:`Layout.sweep` — diagonal ``p``, lower ``p/4``: for the plain CR
+  scheme (4 diagonal + 3 lower grids) this yields exactly the Table I /
+  Fig. 8 core counts 19, 38, 76, 152, 304 for p = 4, 8, 16, 32, 64.
+
+Ranks are assigned to grids contiguously in gid order, so world rank 0 (the
+controller, which must never fail) is the root of grid 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sparsegrid.index import CombinationScheme
+
+
+@dataclass(frozen=True)
+class GridAssignment:
+    """One grid's slice of the world communicator."""
+
+    gid: int
+    index: Tuple[int, int]
+    role: str
+    ranks: Tuple[int, ...]
+
+    @property
+    def root(self) -> int:
+        return self.ranks[0]
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.ranks)
+
+
+class Layout:
+    """Immutable grid -> process-group map over a contiguous rank range."""
+
+    def __init__(self, scheme: CombinationScheme, counts: Dict[int, int]):
+        self.scheme = scheme
+        self.counts = dict(counts)
+        assignments: List[GridAssignment] = []
+        next_rank = 0
+        for g in scheme.grids:
+            n = counts[g.gid]
+            if n < 1:
+                raise ValueError(f"grid {g.gid} needs at least one process")
+            max_axis = 1 << max(g.index)
+            if n > max_axis:
+                raise ValueError(
+                    f"grid {g.gid} {g.index} cannot host {n} slabs "
+                    f"(longest axis has {max_axis} points)")
+            ranks = tuple(range(next_rank, next_rank + n))
+            assignments.append(GridAssignment(g.gid, g.index, g.role, ranks))
+            next_rank += n
+        self.assignments: Tuple[GridAssignment, ...] = tuple(assignments)
+        self.total_procs = next_rank
+        self._rank_to_gid = [0] * next_rank
+        for a in assignments:
+            for r in a.ranks:
+                self._rank_to_gid[r] = a.gid
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls, scheme: CombinationScheme, diag_procs: int = 8) -> "Layout":
+        """Halving rule: layer k gets ``diag_procs >> k`` processes (min 1);
+        duplicates get the diagonal count."""
+        counts = {}
+        for g in scheme.grids:
+            counts[g.gid] = max(1, diag_procs >> g.layer)
+        return cls(scheme, counts)
+
+    @classmethod
+    def sweep(cls, scheme: CombinationScheme, diag_procs: int = 4) -> "Layout":
+        """Scaling-sweep rule: diagonal ``p``, deeper layers ``p/4^k`` —
+        reproduces the 19/38/76/152/304 totals of Table I on the CR scheme."""
+        counts = {}
+        for g in scheme.grids:
+            counts[g.gid] = max(1, diag_procs >> (2 * g.layer))
+        return cls(scheme, counts)
+
+    # ------------------------------------------------------------------
+    def gid_of(self, rank: int) -> int:
+        return self._rank_to_gid[rank]
+
+    def assignment(self, gid: int) -> GridAssignment:
+        return self.assignments[gid]
+
+    def root_rank(self, gid: int) -> int:
+        return self.assignments[gid].root
+
+    def group_ranks(self, gid: int) -> Tuple[int, ...]:
+        return self.assignments[gid].ranks
+
+    def grids_of_ranks(self, ranks) -> List[int]:
+        """Distinct grid ids touched by the given world ranks (sorted)."""
+        return sorted({self.gid_of(r) for r in ranks})
+
+    def conflict_pairs_ranks(self) -> List[Tuple[int, int]]:
+        """RC conflict pairs expressed at grid level (passed to the
+        failure generator together with :meth:`gid_of`)."""
+        return self.scheme.rc_conflict_pairs()
+
+    def describe(self) -> str:
+        lines = [f"Layout: {self.total_procs} processes over "
+                 f"{len(self.assignments)} grids"]
+        for a in self.assignments:
+            lines.append(f"  grid {a.gid:2d} {a.role:9s} {a.index} -> ranks "
+                         f"{a.ranks[0]}..{a.ranks[-1]} ({a.n_procs})")
+        return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.fig8`   — failure identification / reconstruction times
+* :mod:`repro.experiments.table1` — ULFM per-operation wall times
+* :mod:`repro.experiments.fig9`   — data-recovery overheads (OPL + Raijin)
+* :mod:`repro.experiments.fig10`  — combined-solution approximation error
+* :mod:`repro.experiments.fig11`  — overall time and parallel efficiency
+
+Each exposes ``run_*`` (returns structured points) and ``format_*``
+(paper-style text table); ``python -m repro.experiments.<name>`` runs one.
+"""
+
+from . import fig8, fig9, fig10, fig11, report, table1
+
+__all__ = ["fig8", "fig9", "fig10", "fig11", "table1", "report"]

@@ -1,0 +1,74 @@
+"""Fig. 8: failure identification and communicator reconstruction times.
+
+Two panels, both vs core count (19..304) with one and two real process
+failures:
+
+* (a) creating the list of failed processes — shrink + group algebra;
+* (b) reconstructing the faulty communicator — the whole Fig. 3/5 repair.
+
+Expected shape (paper Sec. III-A): both grow with core count, and the
+two-failure case is dramatically more expensive than one failure (the
+"unsatisfactory" beta behaviour driven by shrink and agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
+from ..machine.presets import OPL
+from .report import format_table
+from .table1 import SWEEP_DIAG_PROCS
+
+
+@dataclass
+class Fig8Point:
+    cores: int
+    n_failures: int
+    t_failed_list: float     #: Fig. 8a
+    t_reconstruct: float     #: Fig. 8b
+
+
+def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
+             diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
+             failure_counts: Sequence[int] = (1, 2),
+             seeds: Sequence[int] = (0,), machine=OPL) -> List[Fig8Point]:
+    points = []
+    for p in diag_procs:
+        base = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
+                         diag_procs=p, layout_mode="sweep",
+                         checkpoint_count=2)
+        t_solve = baseline_solve_time(base, machine)
+        for nf in failure_counts:
+            t_list, t_rec, cores = 0.0, 0.0, 0
+            for seed in seeds:
+                cfg = AppConfig(n=n, level=level, technique_code="CR",
+                                steps=steps, diag_procs=p,
+                                layout_mode="sweep", checkpoint_count=2)
+                kills = plan_failures(cfg, nf, max(t_solve * 0.5, 1e-9),
+                                      seed=seed)
+                m = run_app(cfg, machine, kills=kills)
+                t_list += m.t_detect
+                t_rec += m.t_reconstruct
+                cores = m.world_size
+            points.append(Fig8Point(cores, nf, t_list / len(seeds),
+                                    t_rec / len(seeds)))
+    return points
+
+
+def format_fig8(points: List[Fig8Point]) -> str:
+    rows = [[pt.cores, pt.n_failures, pt.t_failed_list, pt.t_reconstruct]
+            for pt in points]
+    return format_table(
+        ["cores", "failures", "failed-list(s)", "reconstruct(s)"], rows,
+        title="Fig. 8: failure identification (a) and communicator "
+              "reconstruction (b) wall times")
+
+
+def main():  # pragma: no cover - CLI
+    print(format_fig8(run_fig8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

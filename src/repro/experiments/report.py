@@ -1,0 +1,44 @@
+"""Formatting helpers: paper-vs-measured tables for every experiment."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "", floatfmt: str = "10.3f") -> str:
+    """Plain-text aligned table (benchmarks print these)."""
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:{floatfmt}}"
+        return str(v)
+
+    srows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def series_summary(name: str, xs: Sequence, ys: Sequence[float]) -> str:
+    pts = ", ".join(f"{x}:{y:.3g}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def check_monotone_increasing(ys: Sequence[float], slack: float = 0.0) -> bool:
+    """Shape check: each value at least (1-slack) of the previous."""
+    return all(b >= a * (1.0 - slack) for a, b in zip(ys, ys[1:]))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,83 @@
+"""Table I: beta Open MPI 3.1 ULFM operation wall times, two failed processes.
+
+For each core count the application is run with two real mid-computation
+kills; the reconstruction protocol's per-operation timers are read back
+from rank 0's metrics.  The sweep layout reproduces the paper's exact core
+counts 19/38/76/152/304 from diagonal process counts 4/8/16/32/64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
+from ..machine.presets import OPL
+from .report import format_table
+
+#: the paper's measurements (cores -> spawn, shrink, agree, merge seconds)
+PAPER_TABLE1: Dict[int, Tuple[float, float, float, float]] = {
+    19: (0.01, 0.01, 0.49, 0.01),
+    38: (4.19, 2.46, 0.51, 0.01),
+    76: (60.75, 43.35, 1.03, 0.02),
+    152: (86.45, 50.80, 2.36, 0.02),
+    304: (112.61, 55.57, 12.83, 0.03),
+}
+
+#: diagonal process counts whose sweep layouts hit the paper's core counts
+SWEEP_DIAG_PROCS: Tuple[int, ...] = (4, 8, 16, 32, 64)
+
+
+@dataclass
+class Table1Row:
+    cores: int
+    spawn: float
+    shrink: float
+    agree: float
+    merge: float
+
+
+def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,
+               diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
+               n_failures: int = 2, seed: int = 0,
+               machine=OPL) -> List[Table1Row]:
+    rows = []
+    for p in diag_procs:
+        cfg = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
+                        diag_procs=p, layout_mode="sweep", checkpoint_count=2)
+        t_solve = baseline_solve_time(cfg, machine)
+        kills = plan_failures(cfg, n_failures, max(t_solve * 0.5, 1e-9),
+                              seed=seed)
+        cfg = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
+                        diag_procs=p, layout_mode="sweep", checkpoint_count=2)
+        m = run_app(cfg, machine, kills=kills)
+        rows.append(Table1Row(m.world_size, m.t_spawn, m.t_shrink,
+                              m.t_agree, m.t_merge))
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    out_rows = []
+    for r in rows:
+        paper = PAPER_TABLE1.get(r.cores)
+        prow = [r.cores, r.spawn, r.shrink, r.agree, r.merge]
+        if paper:
+            prow += list(paper)
+        else:
+            prow += ["-"] * 4
+        out_rows.append(prow)
+    return format_table(
+        ["cores", "spawn", "shrink", "agree", "merge",
+         "p.spawn", "p.shrink", "p.agree", "p.merge"],
+        out_rows,
+        title="Table I: ULFM op wall times (s), 2 process failures "
+              "[measured vs paper]")
+
+
+def main():  # pragma: no cover - CLI
+    rows = run_table1()
+    print(format_table1(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,107 @@
+"""Failure generation — the paper's SIGKILL injector, with its constraints.
+
+"Faults are injected into the application using a failure generator which
+aborts single or multiple random MPI processes together ... at some point
+before the combination of the sub-grid solutions."  Constraints (Sec. III):
+
+* rank 0 never fails (it is used for controlling purposes);
+* under Resampling-and-Copying, a replica pair must not fail
+  simultaneously (e.g. sub-grids 0 and 7, 1 and 4, 1 and 8, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Kill:
+    """One scheduled process kill."""
+    rank: int
+    at: float
+
+
+class FailureGenerator:
+    """Chooses victims under the paper's constraints and schedules kills."""
+
+    def __init__(self, seed: int = 0, *, protect: Iterable[int] = (0,),
+                 conflict_pairs: Iterable[Tuple[int, int]] = (),
+                 rank_to_grid=None):
+        self.rng = random.Random(seed)
+        self.protect: Set[int] = set(protect)
+        self.conflict_pairs = [tuple(sorted(p)) for p in conflict_pairs]
+        #: optional map world-rank -> grid id, for grid-level constraints
+        self.rank_to_grid = rank_to_grid
+
+    # ------------------------------------------------------------------
+    def _grids_of(self, ranks: Iterable[int]) -> Set[int]:
+        if self.rank_to_grid is None:
+            return set()
+        return {self.rank_to_grid(r) for r in ranks}
+
+    def _violates(self, chosen: Sequence[int]) -> bool:
+        if any(r in self.protect for r in chosen):
+            return True
+        grids = self._grids_of(chosen)
+        for a, b in self.conflict_pairs:
+            if a in grids and b in grids:
+                return True
+        return False
+
+    def choose_victims(self, world_size: int, n_failures: int,
+                       max_tries: int = 10_000) -> List[int]:
+        """Random distinct victim ranks satisfying every constraint."""
+        candidates = [r for r in range(world_size) if r not in self.protect]
+        if n_failures > len(candidates):
+            raise ValueError("more failures requested than killable ranks")
+        for _ in range(max_tries):
+            chosen = self.rng.sample(candidates, n_failures)
+            if not self._violates(chosen):
+                return sorted(chosen)
+        raise RuntimeError(
+            "could not find a constraint-satisfying victim set "
+            f"({n_failures} failures, {len(self.conflict_pairs)} conflicts)")
+
+    def plan(self, world_size: int, n_failures: int, at: float) -> List[Kill]:
+        """A simultaneous multi-process failure at virtual time ``at``."""
+        return [Kill(r, at) for r in
+                self.choose_victims(world_size, n_failures)]
+
+    def poisson_plan(self, world_size: int, mtbf: float, horizon: float,
+                     max_failures: Optional[int] = None) -> List[Kill]:
+        """Failures as a Poisson process: exponential inter-arrival times
+        with the given system MTBF, truncated at ``horizon`` virtual
+        seconds.  Victims are drawn without replacement under the usual
+        constraints — this models the paper's premise that "the failure
+        rate of a system is roughly proportional to the number of cores".
+        """
+        kills: List[Kill] = []
+        used: Set[int] = set()
+        t = 0.0
+        candidates = [r for r in range(world_size) if r not in self.protect]
+        while True:
+            t += self.rng.expovariate(1.0 / mtbf)
+            if t >= horizon:
+                break
+            if max_failures is not None and len(kills) >= max_failures:
+                break
+            remaining = [r for r in candidates if r not in used]
+            if not remaining:
+                break
+            for _ in range(1000):
+                victim = self.rng.choice(remaining)
+                if not self._violates(sorted(used | {victim})):
+                    used.add(victim)
+                    kills.append(Kill(victim, t))
+                    break
+            else:
+                break  # constraints exhausted
+        return kills
+
+    # ------------------------------------------------------------------
+    def inject(self, universe, job, kills: Sequence[Kill]) -> None:
+        """Schedule the kills on the universe (SIGKILL at virtual time)."""
+        for kill in kills:
+            universe.kill_rank(job, kill.rank, at=kill.at)

@@ -1,0 +1,225 @@
+"""Communicator reconstruction — the paper's Figs. 2, 3, 5 and 7.
+
+``communicator_reconstruct`` is the retry loop of Fig. 3: parents probe for
+failures with a barrier, repair on error; re-spawned children synchronise,
+merge into the parents' repaired communicator, learn their old rank and
+re-order — after which *every* process holds a communicator of the original
+size with the original rank distribution, and children convert themselves
+into parents so that failures *during* recovery restart the loop.
+
+``repair_comm`` is Fig. 5: revoke → shrink → identify failed ranks →
+re-spawn them on the hosts they occupied before the failure (preserving
+load balance) → merge → distribute old ranks → split with the keys of
+Fig. 7.
+
+Timers for every step are recorded into a :class:`ReconstructTimers`,
+feeding the Fig. 8 / Table I experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..mpi.comm import CommHandle
+from ..mpi.errors import MPIError
+from .detection import failed_procs_list, make_error_handler
+
+#: tag used to ship old ranks to re-spawned processes (Fig. 3 l.23, Fig. 5 l.22-23)
+MERGE_TAG = 4242
+
+#: placement policies for re-spawned processes
+PLACE_SAME_HOST = "same-host"   # the paper's policy (load balance preserved)
+PLACE_SPARE = "spare"           # the paper's future-work policy (node failures)
+PLACE_FIRST_FIT = "first-fit"   # naive policy, for the placement ablation
+
+
+@dataclass
+class ReconstructTimers:
+    """Virtual-time measurements of one reconstruction, per Fig. 8/Table I."""
+
+    failed_list: float = 0.0      #: Fig. 8a — creating the failed-process list
+    reconstruct: float = 0.0      #: Fig. 8b — total repair time
+    shrink: float = 0.0           #: Table I  — OMPI_Comm_shrink
+    spawn: float = 0.0            #: Table I  — MPI_Comm_spawn_multiple
+    merge: float = 0.0            #: Table I  — MPI_Intercomm_merge
+    agree: float = 0.0            #: Table I  — OMPI_Comm_agree
+    iterations: int = 0
+    total_failed: int = 0
+    failed_ranks: List[int] = field(default_factory=list)
+
+
+def select_rank_key(mpi_rank: int, shrinked_group_size: int,
+                    failed_ranks: Sequence[int], total_procs: int) -> int:
+    """Fig. 7: the split key that restores a survivor's original rank.
+
+    Survivor ``i`` of the shrunk communicator was the ``i``-th process of
+    the original communicator *after removing the failed ranks*, so its key
+    is the ``i``-th entry of that surviving-rank list.
+    """
+    failed = set(failed_ranks)
+    shrink_merge_list = [i for i in range(total_procs) if i not in failed]
+    if not (0 <= mpi_rank < shrinked_group_size):
+        raise ValueError(
+            f"rank {mpi_rank} outside shrunk communicator of size "
+            f"{shrinked_group_size}")
+    return shrink_merge_list[mpi_rank]
+
+
+def _placement_hosts(universe, failed_ranks: Sequence[int],
+                     placement: str) -> List[str]:
+    """Fig. 5 l.5-12: host names on which to re-spawn the failed ranks.
+
+    Capacity-based policies must see the slots already promised to earlier
+    replacements in the same repair, hence the ``pending`` ledger.
+    """
+    hostfile = universe.hostfile
+    slots = hostfile[0].slots
+    pending: dict = {}
+
+    def available(hosts):
+        for h in hosts:
+            if h.free_slots - pending.get(h.name, 0) > 0:
+                return h
+        raise RuntimeError(f"no free slot for {placement} placement")
+
+    names = []
+    for rank in failed_ranks:
+        if placement == PLACE_SAME_HOST:
+            host = hostfile.host_of_rank(rank, slots)
+        elif placement == PLACE_SPARE:
+            host = available(hostfile.spare_hosts)
+        elif placement == PLACE_FIRST_FIT:
+            host = available(hostfile.regular_hosts)
+        else:
+            raise ValueError(f"unknown placement policy {placement!r}")
+        pending[host.name] = pending.get(host.name, 0) + 1
+        names.append(host.name)
+    return names
+
+
+async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
+                      placement: str = PLACE_SAME_HOST,
+                      timers: Optional[ReconstructTimers] = None,
+                      max_attempts: int = 10) -> CommHandle:
+    """Fig. 5: repair a broken communicator (parent side).
+
+    Returns the repaired communicator with original size and rank order.
+    ``entry`` is the application entry point the children execute (the
+    paper re-launches ``./ApplicationName`` with the original argv).
+
+    Extension beyond the paper's pseudocode: if a further failure lands
+    *during* the repair (a spawn/merge/split participant dies), the whole
+    attempt is retried from revoke+shrink — the new shrink also excludes
+    the newly dead, and replacements are spawned for every failed rank,
+    including dead replacements.  Children of an aborted attempt observe
+    the same error and exit (see :func:`communicator_reconstruct`).
+    """
+    t = timers or ReconstructTimers()
+    wtime = ctx.wtime
+
+    for _attempt in range(max_attempts):
+        broken_comm.revoke()                                 # Fig. 5 l.2
+        t0 = wtime()
+        shrunk = await broken_comm.shrink()                  # Fig. 5 l.3
+        shrink_time = wtime() - t0
+        t.shrink += shrink_time
+
+        t0 = wtime()
+        failed_ranks, total_failed = failed_procs_list(broken_comm, shrunk)
+        t.failed_list += (wtime() - t0) + shrink_time  # list incl. shrink
+        for r in failed_ranks:  # accumulate across repeated repairs
+            if r not in t.failed_ranks:
+                t.failed_ranks.append(r)
+        t.total_failed = len(t.failed_ranks)
+
+        host_names = _placement_hosts(ctx.universe, failed_ranks, placement)
+
+        try:
+            t0 = wtime()
+            inter = await shrunk.spawn_multiple(             # Fig. 5 l.13
+                total_failed, entry, argv, host_names=host_names)
+            t.spawn += wtime() - t0
+
+            t0 = wtime()
+            unordered = await inter.merge(high=False)        # Fig. 5 l.14
+            t.merge += wtime() - t0
+
+            t0 = wtime()
+            await inter.agree(1)                             # Fig. 5 l.15
+            t.agree += wtime() - t0
+
+            shrunk_size = shrunk.size
+            # Fig. 5 l.21-23: rank 0 tells each child its old (failed) rank
+            if unordered.rank == 0:
+                for i, old_rank in enumerate(failed_ranks):
+                    await unordered.send(old_rank, dest=shrunk_size + i,
+                                         tag=MERGE_TAG)
+            # Fig. 5 l.24-25: re-order so survivors regain original ranks
+            key = select_rank_key(unordered.rank, shrunk_size, failed_ranks,
+                                  broken_comm.size)
+            return await unordered.split(0, key)
+        except MPIError:
+            continue  # another failure mid-repair: retry from revoke
+    raise RuntimeError(f"communicator repair failed {max_attempts} times")
+
+
+async def communicator_reconstruct(ctx, my_world, *, entry: Callable,
+                                   argv: Sequence = (),
+                                   placement: str = PLACE_SAME_HOST,
+                                   timers: Optional[ReconstructTimers] = None,
+                                   errhandler_sink: Optional[Callable] = None
+                                   ) -> CommHandle:
+    """Fig. 3: the full reconstruction loop, valid on both parents and
+    children.
+
+    Survivors pass their (possibly broken) world communicator; re-spawned
+    processes pass anything (their parent intercommunicator drives the
+    child branch).  Loops until a barrier on the reconstructed communicator
+    succeeds, so failures occurring *during* recovery are also handled.
+    """
+    t = timers or ReconstructTimers()
+    handler = make_error_handler(errhandler_sink)
+    parent = ctx.get_parent()                                # Fig. 3 l.3
+    reconstructed = my_world
+    iter_counter = 0
+
+    while True:
+        failure = False
+        if parent is None:                                   # parent branch
+            if iter_counter == 0:
+                reconstructed = my_world                     # Fig. 3 l.8
+            reconstructed.set_errhandler(handler)            # Fig. 3 l.11
+            t0 = ctx.wtime()
+            await reconstructed.agree(1)                     # Fig. 3 l.12
+            t.agree += ctx.wtime() - t0
+            try:
+                await reconstructed.barrier()                # Fig. 3 l.13
+            except MPIError:
+                t0 = ctx.wtime()
+                reconstructed = await repair_comm(           # Fig. 3 l.15
+                    ctx, reconstructed, entry=entry, argv=argv,
+                    placement=placement, timers=t)
+                t.reconstruct += ctx.wtime() - t0
+                failure = True
+        else:                                                # child branch
+            parent.set_errhandler(handler)                   # Fig. 3 l.20
+            try:
+                await parent.agree(1)                        # Fig. 3 l.21
+                unordered = await parent.merge(high=True)    # Fig. 3 l.22
+                old_rank = await unordered.recv(source=0, tag=MERGE_TAG)
+                reconstructed = await unordered.split(0, old_rank)  # l.24
+            except MPIError:
+                # the repair attempt we belong to was aborted (another
+                # failure); the parents retry with fresh replacements and
+                # this orphan must exit
+                return None
+            failure = True                                   # Fig. 3 l.25-26
+            parent = None                                    # Fig. 3 l.32
+            ctx.set_parent_null()  # permanent: later detection rounds must
+            # take the parent branch (Fig. 3's child-to-parent conversion)
+
+        iter_counter += 1
+        t.iterations = iter_counter
+        if not failure:
+            return reconstructed

@@ -1,0 +1,130 @@
+"""The three data-recovery techniques as configuration objects.
+
+Each technique decides (a) which redundant grids the scheme carries,
+(b) which combination coefficients to use after a loss, and (c) how lost
+grid data is restored.  The data motion itself is orchestrated by
+:mod:`repro.core.app`, which calls back into these objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..sparsegrid import (CombinationScheme, alternate_coefficients_for)
+
+GridIx = Tuple[int, int]
+
+
+class RecoveryTechnique:
+    """Base class; subclasses are stateless and safe to share."""
+
+    code: str = "?"
+    name: str = "?"
+    needs_checkpoints: bool = False
+
+    def make_scheme(self, n: int, level: int) -> CombinationScheme:
+        raise NotImplementedError
+
+    def combination_coefficients(self, scheme: CombinationScheme,
+                                 lost_gids: Iterable[int]) -> Dict[GridIx, float]:
+        """Coefficients (by grid index) for the final combination."""
+        raise NotImplementedError
+
+    def validate_losses(self, scheme: CombinationScheme,
+                        lost_gids: Iterable[int]) -> None:
+        """Raise if this loss pattern violates the technique's constraints."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{self.__class__.__name__}()"
+
+
+def _classic_by_index(scheme: CombinationScheme) -> Dict[GridIx, float]:
+    return {scheme[gid].index: c
+            for gid, c in scheme.classic_coefficients().items()}
+
+
+class CheckpointRestart(RecoveryTechnique):
+    """CR: no redundant grids; exact recovery from periodic checkpoints."""
+
+    code = "CR"
+    name = "Checkpoint/Restart"
+    needs_checkpoints = True
+
+    def make_scheme(self, n: int, level: int) -> CombinationScheme:
+        return CombinationScheme(n, level)
+
+    def combination_coefficients(self, scheme, lost_gids):
+        # data is recovered exactly, so the classic combination applies
+        return _classic_by_index(scheme)
+
+
+class ResamplingCopying(RecoveryTechnique):
+    """RC: duplicated diagonal grids; copy or resample lost data."""
+
+    code = "RC"
+    name = "Resampling and Copying"
+
+    def make_scheme(self, n: int, level: int) -> CombinationScheme:
+        return CombinationScheme(n, level, duplicates=True)
+
+    def combination_coefficients(self, scheme, lost_gids):
+        # lost grids are restored (near-exactly), classic coefficients apply
+        return _classic_by_index(scheme)
+
+    def validate_losses(self, scheme, lost_gids):
+        lost = set(lost_gids)
+        for a, b in scheme.rc_conflict_pairs():
+            if a in lost and b in lost:
+                raise ValueError(
+                    f"RC cannot recover simultaneous loss of grids {a} and "
+                    f"{b} (replica/resample pair)")
+
+    def recovery_plan(self, scheme: CombinationScheme,
+                      lost_gids: Iterable[int]) -> List[Tuple[int, int]]:
+        """(lost gid, source gid) pairs; source holds the data to copy or
+        resample (Sec. II-D: 0<->7, 1<->8, ..., 4 from 1, 5 from 2, 6 from 3)."""
+        self.validate_losses(scheme, lost_gids)
+        plan = []
+        for gid in sorted(set(lost_gids)):
+            src = scheme.resample_source(gid)
+            if src is None:
+                raise ValueError(f"grid {gid} has no RC recovery source")
+            plan.append((gid, src))
+        return plan
+
+
+class AlternateCombination(RecoveryTechnique):
+    """AC: extra coarse layers; recompute combination coefficients."""
+
+    code = "AC"
+    name = "Alternate Combination"
+
+    def __init__(self, extra_layers: int = 2):
+        self.extra_layers = extra_layers
+
+    def make_scheme(self, n: int, level: int) -> CombinationScheme:
+        return CombinationScheme(n, level, extra_layers=self.extra_layers)
+
+    def combination_coefficients(self, scheme, lost_gids):
+        lost = set(lost_gids)
+        if not lost:
+            return _classic_by_index(scheme)
+        return alternate_coefficients_for(scheme, lost)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AlternateCombination(extra_layers={self.extra_layers})"
+
+
+TECHNIQUES: Dict[str, RecoveryTechnique] = {
+    "CR": CheckpointRestart(),
+    "RC": ResamplingCopying(),
+    "AC": AlternateCombination(),
+}
+
+
+def technique_by_code(code: str) -> RecoveryTechnique:
+    try:
+        return TECHNIQUES[code.upper()]
+    except KeyError:
+        raise ValueError(f"unknown technique {code!r}; "
+                         f"expected one of {sorted(TECHNIQUES)}") from None

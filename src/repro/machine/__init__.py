@@ -1,0 +1,20 @@
+"""Machine (cluster) cost models and host/slot management."""
+
+from .hosts import DEFAULT_SLOTS, Host, Hostfile
+from .model import MachineSpec, UlfmCostModel, ZERO_ULFM, interp_curve
+from .presets import IDEAL, OPL, OPL_FIXED_ULFM, PRESETS, RAIJIN
+
+__all__ = [
+    "Host",
+    "Hostfile",
+    "DEFAULT_SLOTS",
+    "MachineSpec",
+    "UlfmCostModel",
+    "ZERO_ULFM",
+    "interp_curve",
+    "OPL",
+    "RAIJIN",
+    "IDEAL",
+    "OPL_FIXED_ULFM",
+    "PRESETS",
+]

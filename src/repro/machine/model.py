@@ -1,0 +1,167 @@
+"""Cost model: how long simulated operations take in virtual time.
+
+The model has two parts:
+
+1. **Generic cluster costs** — an alpha–beta (latency/bandwidth) model for
+   point-to-point messages, log-tree scaling for collectives, a flop rate
+   for computation and a per-checkpoint disk-write latency ``t_io`` (the
+   paper's ``T_I/O``: 3.52 s on OPL, 0.03 s on Raijin).
+
+2. **ULFM-beta operation costs** — the paper's headline negative result is
+   that `MPI_Comm_spawn_multiple`, `OMPI_Comm_shrink` and `OMPI_Comm_agree`
+   in the beta fault-tolerant Open MPI grow dramatically with core count
+   when two or more processes fail (Table I).  We reproduce that behaviour
+   with piecewise-linear (in core count) calibration curves fitted through
+   Table I's measurements, scaled down for the single-failure case as
+   described in Sec. III-A / Fig. 8.
+
+All cost functions return seconds of virtual time; the MPI layer charges
+them via the engine.  Substituting a different :class:`MachineSpec` (e.g.
+:data:`repro.machine.presets.IDEAL`) changes timing results without touching
+any algorithmic code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def interp_curve(x: float, xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Piecewise-linear interpolation through ``(xs, ys)`` with linear
+    extrapolation beyond the calibrated range (clamped at >= 0)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two calibration points")
+    if x <= xs[0]:
+        lo, hi = 0, 1
+    elif x >= xs[-1]:
+        lo, hi = len(xs) - 2, len(xs) - 1
+    else:
+        hi = next(i for i, xv in enumerate(xs) if xv >= x)
+        lo = hi - 1
+    x0, x1 = xs[lo], xs[hi]
+    y0, y1 = ys[lo], ys[hi]
+    t = (x - x0) / (x1 - x0)
+    return max(0.0, y0 + t * (y1 - y0))
+
+
+# --------------------------------------------------------------------------
+# Table I calibration (OPL cluster, two failed processes).
+# cores:                 19     38     76     152     304
+_TABLE1_CORES = (19.0, 38.0, 76.0, 152.0, 304.0)
+_TABLE1_SPAWN = (0.01, 4.19, 60.75, 86.45, 112.61)
+_TABLE1_SHRINK = (0.01, 2.46, 43.35, 50.80, 55.57)
+_TABLE1_AGREE = (0.49, 0.51, 1.03, 2.36, 12.83)
+_TABLE1_MERGE = (0.01, 0.01, 0.02, 0.02, 0.03)
+
+# Single-failure curves: the paper gives no table, but Fig. 8 shows times
+# growing with core count and *much* smaller than the 2-failure case (the
+# text calls the 2-failure blow-up "unsatisfactory" and attributes it to
+# shrink and agree).  These gentle curves encode that qualitative shape.
+_SPAWN_1F = (0.01, 0.08, 0.35, 0.90, 2.10)
+_SHRINK_1F = (0.01, 0.05, 0.22, 0.55, 1.30)
+_AGREE_1F = (0.25, 0.27, 0.40, 0.70, 1.60)
+
+
+@dataclass(frozen=True)
+class UlfmCostModel:
+    """Cost curves for the beta-ULFM operations, per failure count."""
+
+    cores: Sequence[float] = _TABLE1_CORES
+    spawn_multi: Sequence[float] = _TABLE1_SPAWN
+    shrink_multi: Sequence[float] = _TABLE1_SHRINK
+    agree_multi: Sequence[float] = _TABLE1_AGREE
+    merge_curve: Sequence[float] = _TABLE1_MERGE
+    spawn_single: Sequence[float] = _SPAWN_1F
+    shrink_single: Sequence[float] = _SHRINK_1F
+    agree_single: Sequence[float] = _AGREE_1F
+    #: additional multiplicative cost per failure beyond the second
+    extra_failure_factor: float = 0.35
+    #: overall scale (1.0 = OPL-beta behaviour; smaller models a fixed MPI)
+    scale: float = 1.0
+
+    def _failure_scale(self, n_failed: int) -> float:
+        if n_failed <= 1:
+            return 1.0
+        return 1.0 + self.extra_failure_factor * (n_failed - 2)
+
+    def spawn(self, n_cores: int, n_failed: int) -> float:
+        curve = self.spawn_single if n_failed <= 1 else self.spawn_multi
+        return self.scale * self._failure_scale(n_failed) * interp_curve(
+            n_cores, self.cores, curve)
+
+    def shrink(self, n_cores: int, n_failed: int) -> float:
+        curve = self.shrink_single if n_failed <= 1 else self.shrink_multi
+        return self.scale * self._failure_scale(n_failed) * interp_curve(
+            n_cores, self.cores, curve)
+
+    def agree(self, n_cores: int, n_failed: int) -> float:
+        curve = self.agree_single if n_failed <= 1 else self.agree_multi
+        return self.scale * self._failure_scale(n_failed) * interp_curve(
+            n_cores, self.cores, curve)
+
+    def merge(self, n_cores: int) -> float:
+        return self.scale * interp_curve(n_cores, self.cores, self.merge_curve)
+
+    def revoke(self, n_cores: int) -> float:
+        # revocation is a reliable broadcast: log-tree latency scaling
+        return self.scale * 1e-4 * max(1.0, math.log2(max(n_cores, 2)))
+
+
+ZERO_ULFM = UlfmCostModel(scale=0.0)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A simulated cluster: network, compute, disk and ULFM cost parameters."""
+
+    name: str
+    total_cores: int
+    cores_per_node: int = 12
+    #: point-to-point latency (seconds)
+    alpha: float = 2.0e-6
+    #: inverse bandwidth (seconds per byte)
+    beta: float = 3.2e-10
+    #: sustained flop rate per core (flop/s)
+    flop_rate: float = 2.0e9
+    #: single checkpoint write time to disk, per process (paper's T_I/O)
+    t_io: float = 3.52
+    #: checkpoint read time as a fraction of the write time
+    read_factor: float = 0.5
+    #: disk streaming bandwidth (bytes/s), added on top of t_io latency
+    disk_bandwidth: float = 5.0e8
+    ulfm: UlfmCostModel = field(default_factory=UlfmCostModel)
+    #: extra latency the ULFM failure detector needs to flag a dead peer
+    failure_detection_latency: float = 1.0e-3
+
+    # ------------------------------------------------------------------
+    # generic costs
+    # ------------------------------------------------------------------
+    def p2p_cost(self, nbytes: int) -> float:
+        """Alpha–beta cost of one point-to-point message."""
+        return self.alpha + nbytes * self.beta
+
+    def collective_cost(self, n_procs: int, nbytes: int) -> float:
+        """Log-tree collective: ceil(log2 n) rounds of alpha–beta messages."""
+        if n_procs <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_procs))
+        return rounds * (self.alpha + nbytes * self.beta)
+
+    def barrier_cost(self, n_procs: int) -> float:
+        return self.collective_cost(n_procs, 0)
+
+    def compute_cost(self, flops: float) -> float:
+        return flops / self.flop_rate
+
+    def disk_write_cost(self, nbytes: int) -> float:
+        return self.t_io + nbytes / self.disk_bandwidth
+
+    def disk_read_cost(self, nbytes: int) -> float:
+        return self.t_io * self.read_factor + nbytes / self.disk_bandwidth
+
+    def with_overrides(self, **kwargs) -> "MachineSpec":
+        """A copy of this spec with some fields replaced."""
+        from dataclasses import replace
+        return replace(self, **kwargs)

@@ -1,0 +1,69 @@
+"""Cluster presets used throughout the experiments.
+
+``OPL`` and ``RAIJIN`` mirror the two systems in the paper's Sec. III;
+``IDEAL`` is a zero-cost machine used by numerics-only tests where virtual
+time is irrelevant.
+"""
+
+from __future__ import annotations
+
+from .model import MachineSpec, UlfmCostModel, ZERO_ULFM
+
+#: The 432-core Fujitsu Laboratories of Europe cluster (36 dual-socket
+#: nodes, 2x6-core X5670, InfiniBand QDR).  T_I/O = 3.52 s — a "typical"
+#: disk write latency per the paper.
+OPL = MachineSpec(
+    name="OPL",
+    total_cores=432,
+    cores_per_node=12,
+    alpha=1.9e-6,
+    beta=1.0 / 3.2e9,   # IB QDR ~32 Gbit/s effective
+    flop_rate=2.93e9,   # X5670 @ 2.93 GHz, ~1 flop/cycle sustained
+    t_io=3.52,
+)
+
+#: NCI Raijin: 57,472 Sandy Bridge cores, IB FDR, Lustre filesystem with
+#: remarkably low checkpoint latency (T_I/O = 0.03 s per the paper).
+RAIJIN = MachineSpec(
+    name="Raijin",
+    total_cores=57_472,
+    cores_per_node=16,
+    alpha=1.3e-6,
+    beta=1.0 / 5.6e9,   # IB FDR ~56 Gbit/s
+    flop_rate=2.6e9,
+    t_io=0.03,
+    disk_bandwidth=5.0e9,
+)
+
+#: Zero-cost machine: all operations are free; use when only numerical
+#: results matter (keeps virtual timestamps trivially comparable).
+IDEAL = MachineSpec(
+    name="ideal",
+    total_cores=1_000_000,
+    cores_per_node=12,
+    alpha=0.0,
+    beta=0.0,
+    flop_rate=float("inf"),
+    t_io=0.0,
+    disk_bandwidth=float("inf"),
+    ulfm=ZERO_ULFM,
+    failure_detection_latency=0.0,
+)
+
+#: A hypothetical cluster running a *fixed* (non-beta) ULFM whose recovery
+#: operations scale like ordinary collectives — used in ablations to show
+#: how much of Fig. 8/11's cost is the beta implementation.
+OPL_FIXED_ULFM = OPL.with_overrides(
+    name="OPL-fixed-ulfm",
+    ulfm=UlfmCostModel(
+        spawn_multi=(0.02, 0.03, 0.05, 0.08, 0.12),
+        shrink_multi=(0.01, 0.015, 0.02, 0.03, 0.05),
+        agree_multi=(0.005, 0.007, 0.01, 0.015, 0.02),
+        merge_curve=(0.01, 0.01, 0.02, 0.02, 0.03),
+        spawn_single=(0.02, 0.03, 0.05, 0.08, 0.12),
+        shrink_single=(0.01, 0.015, 0.02, 0.03, 0.05),
+        agree_single=(0.005, 0.007, 0.01, 0.015, 0.02),
+    ),
+)
+
+PRESETS = {spec.name: spec for spec in (OPL, RAIJIN, IDEAL, OPL_FIXED_ULFM)}

@@ -1,0 +1,147 @@
+"""Cartesian process topologies (``MPI_Cart_create`` and friends).
+
+The paper's solver "sets up process grids with corresponding process maps
+which govern the communication between different sub-grids and domains";
+this module provides that machinery: balanced dimension factorisation
+(``MPI_Dims_create``), coordinate <-> rank maps and neighbour shifts for
+the 2D-decomposed solver variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .comm import CommHandle
+from .errors import UNDEFINED, RankError
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> List[int]:
+    """``MPI_Dims_create``: balanced factorisation of ``nnodes``.
+
+    Fixed (non-zero) entries of ``dims`` are honoured; zero entries are
+    filled so the product equals ``nnodes``, as square as possible (larger
+    factors first).
+    """
+    dims = list(dims) if dims is not None else [0] * ndims
+    if len(dims) != ndims:
+        raise ValueError("dims length must equal ndims")
+    fixed = 1
+    free_positions = []
+    for i, d in enumerate(dims):
+        if d < 0:
+            raise ValueError("dims entries must be >= 0")
+        if d:
+            fixed *= d
+        else:
+            free_positions.append(i)
+    if fixed == 0 or nnodes % fixed:
+        raise ValueError(f"cannot factor {nnodes} over fixed dims {dims}")
+    remaining = nnodes // fixed
+    if not free_positions:
+        if remaining != 1:
+            raise ValueError(f"fixed dims {dims} do not cover {nnodes}")
+        return dims
+
+    # factorise `remaining` into len(free_positions) near-equal factors
+    k = len(free_positions)
+    factors = [1] * k
+    # repeatedly peel the largest prime factor onto the smallest slot
+    n = remaining
+    primes = []
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            primes.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        primes.append(n)
+    for prime in sorted(primes, reverse=True):
+        slot = min(range(k), key=lambda i: factors[i])
+        factors[slot] *= prime
+    factors.sort(reverse=True)
+    for pos, f in zip(free_positions, factors):
+        dims[pos] = f
+    return dims
+
+
+class CartHandle(CommHandle):
+    """A communicator with an attached Cartesian topology.
+
+    Ranks are laid out row-major over ``dims`` (C order, matching MPI).
+    """
+
+    def __init__(self, state, proc, dims: Sequence[int],
+                 periods: Sequence[bool]):
+        super().__init__(state, proc)
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise ValueError("dims and periods must have equal length")
+        total = 1
+        for d in self.dims:
+            total *= d
+        if total != self.size:
+            raise ValueError(
+                f"topology {self.dims} needs {total} ranks, comm has "
+                f"{self.size}")
+
+    # ------------------------------------------------------------------
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """``MPI_Cart_coords``."""
+        self._check_rank(rank)
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    @property
+    def coords(self) -> Tuple[int, ...]:
+        return self.coords_of(self.rank)
+
+    def rank_at(self, coords: Sequence[int]) -> int:
+        """``MPI_Cart_rank``; periodic wrapping where enabled."""
+        if len(coords) != self.ndims:
+            raise RankError(f"need {self.ndims} coordinates")
+        rank = 0
+        for c, d, per in zip(coords, self.dims, self.periods):
+            if per:
+                c %= d
+            elif not (0 <= c < d):
+                return UNDEFINED
+            rank = rank * d + c
+        return rank
+
+    def shift(self, dimension: int, displacement: int = 1
+              ) -> Tuple[int, int]:
+        """``MPI_Cart_shift``: (source, destination) ranks for a shift.
+
+        Non-periodic out-of-range neighbours are ``UNDEFINED`` (the
+        MPI_PROC_NULL analogue).
+        """
+        if not (0 <= dimension < self.ndims):
+            raise RankError(f"dimension {dimension} out of range")
+        me = list(self.coords)
+        up = list(me)
+        up[dimension] += displacement
+        down = list(me)
+        down[dimension] -= displacement
+        return self.rank_at(down), self.rank_at(up)
+
+    def neighbours(self, dimension: int) -> Tuple[int, int]:
+        """(previous, next) along one dimension (convenience)."""
+        return self.shift(dimension, 1)
+
+
+async def create_cart(comm: CommHandle, dims: Sequence[int],
+                      periods: Sequence[bool]) -> CartHandle:
+    """``MPI_Cart_create`` (without reordering): collective; returns a new
+    communicator handle carrying the topology."""
+    dup = await comm.dup()
+    return CartHandle(dup.state, comm.proc, dims, periods)

@@ -1,0 +1,688 @@
+"""Intracommunicators: point-to-point, collectives, split and the ULFM surface.
+
+A :class:`CommState` is the shared, engine-side record of one communicator
+(membership, mailbox, open collectives, revocation flag).  Each rank holds a
+:class:`CommHandle` — its private view with a rank, an error handler and the
+async operation API.  This mirrors real MPI, where a communicator is a
+distributed object and each process holds a local handle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..simkernel.traps import Sleep
+from .collectives import Rendezvous, RendezvousTable, RvKind
+from .datatypes import clone_payload, payload_nbytes
+from .errors import (ANY_SOURCE, ANY_TAG, UNDEFINED, CommInvalidError,
+                     MPIError, ProcFailedError, RankError, RevokedError)
+from .group import Group
+from .matching import MessageBoard
+from .process import Proc
+
+_comm_ids = itertools.count()
+
+
+@dataclass
+class Status:
+    """Reception status: source rank and tag of the matched message."""
+    source: int
+    tag: int
+
+
+class Request:
+    """Handle for a non-blocking operation; ``await req.wait()`` completes it."""
+
+    def __init__(self, future, transform=None):
+        self._future = future
+        self._transform = transform
+
+    async def wait(self):
+        value = await self._future
+        return self._transform(value) if self._transform else value
+
+    @property
+    def done(self) -> bool:
+        return self._future.done
+
+
+async def waitall(requests: Sequence["Request"]) -> List[Any]:
+    """``MPI_Waitall``: complete every request, in order."""
+    return [await r.wait() for r in requests]
+
+
+async def waitany(requests: Sequence["Request"]):
+    """``MPI_Waitany``: return (index, value) of one completed request.
+
+    Already-completed requests are served first (lowest index); otherwise
+    requests are awaited in order — deterministic, if not maximally eager.
+    """
+    if not requests:
+        raise ValueError("waitany of no requests")
+    for i, r in enumerate(requests):
+        if r.done:
+            return i, await r.wait()
+    return 0, await requests[0].wait()
+
+
+# reduction operators -------------------------------------------------------
+def SUM(a, b):
+    return a + b
+
+
+def PROD(a, b):
+    return a * b
+
+
+def MAX(a, b):
+    import numpy as np
+    return np.maximum(a, b) if hasattr(a, "shape") or hasattr(b, "shape") else max(a, b)
+
+
+def MIN(a, b):
+    import numpy as np
+    return np.minimum(a, b) if hasattr(a, "shape") or hasattr(b, "shape") else min(a, b)
+
+
+def LAND(a, b):
+    return bool(a) and bool(b)
+
+
+def BAND(a, b):
+    return a & b
+
+
+class CommState:
+    """Shared state of one intracommunicator."""
+
+    def __init__(self, universe, procs: Sequence[Proc], name: str = ""):
+        self.cid = next(_comm_ids)
+        self.universe = universe
+        self.procs: List[Proc] = list(procs)
+        self.name = name or f"comm{self.cid}"
+        self.group = Group(self.procs)
+        self.revoked = False
+        engine = universe.engine
+        detect = universe.machine.failure_detection_latency
+        self.board = MessageBoard(engine, detect)
+        self.rtable = RendezvousTable()
+        self._op_counts: Dict[tuple, int] = defaultdict(int)
+        #: per-proc acknowledged failure snapshots (failure_ack)
+        self.acked: Dict[int, tuple] = {}
+        self.errhandlers: Dict[int, Callable] = {}
+        self._rank_cache = {p.uid: i for i, p in enumerate(self.procs)}
+        universe.stats.comms_created += 1
+        for p in self.procs:
+            p.comm_states.add(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def rank_of(self, proc: Proc) -> int:
+        return self._rank_cache.get(proc.uid, UNDEFINED)
+
+    def dead_ranks(self) -> frozenset:
+        return frozenset(i for i, p in enumerate(self.procs) if p.dead)
+
+    def n_failed(self) -> int:
+        return sum(1 for p in self.procs if p.dead)
+
+    def next_op_index(self, proc: Proc, channel: str = "coll") -> int:
+        """Per-proc, per-channel collective sequence number.
+
+        Ordinary collectives share one ordered channel ("coll"), matching
+        MPI's same-order rule.  The ULFM operations (agree, shrink) use
+        their own channels: their fault-tolerant consensus protocols are
+        independent of the regular collective stream, which is what makes
+        the paper's differing parent/child call orders (Fig. 3 l.21-22 vs
+        Fig. 5 l.14-15) legal.
+        """
+        key = (proc.uid, channel)
+        idx = self._op_counts[key]
+        self._op_counts[key] = idx + 1
+        return idx
+
+    def handle(self, proc: Proc) -> "CommHandle":
+        return CommHandle(self, proc)
+
+    def on_proc_death(self, proc: Proc, now: float) -> None:
+        """Called by the universe when a member dies."""
+        rank = self.rank_of(proc)
+        self.board.drop_waiters_of(rank)
+        self.board.on_rank_death(rank, now)
+        self.rtable.on_proc_death(proc, now)
+
+    def do_revoke(self, now: float) -> None:
+        if self.revoked:
+            return
+        self.revoked = True
+        self.board.revoke_all(now)
+        self.rtable.doom_all(RevokedError(f"{self.name} revoked"), now,
+                             self.universe.machine.failure_detection_latency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = " revoked" if self.revoked else ""
+        return f"CommState({self.name!r}, size={self.size}{flags})"
+
+
+class CommHandle:
+    """One rank's view of (and API to) a communicator."""
+
+    def __init__(self, state: CommState, proc: Proc):
+        if state.rank_of(proc) == UNDEFINED:
+            raise CommInvalidError(f"{proc.name} is not a member of {state.name}")
+        self.state = state
+        self.proc = proc
+        self.rank = state.rank_of(proc)
+
+    # -- basics ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.state.size
+
+    @property
+    def group(self) -> Group:
+        return self.state.group
+
+    @property
+    def name(self) -> str:
+        return self.state.name
+
+    @property
+    def universe(self):
+        return self.state.universe
+
+    @property
+    def _engine(self):
+        return self.state.universe.engine
+
+    @property
+    def _machine(self):
+        return self.state.universe.machine
+
+    def set_errhandler(self, handler: Callable[["CommHandle", MPIError], None]) -> None:
+        """Install an error handler called before any MPIError is raised
+        (the simulator analogue of ``MPI_Comm_set_errhandler``)."""
+        self.state.errhandlers[self.proc.uid] = handler
+
+    def _raise(self, exc: MPIError):
+        exc.comm = self
+        handler = self.state.errhandlers.get(self.proc.uid)
+        if handler is not None:
+            handler(self, exc)
+        raise exc
+
+    def _check_usable(self):
+        if self.state.revoked:
+            self._raise(RevokedError(f"{self.state.name} is revoked"))
+
+    def _check_rank(self, rank: int):
+        if not (0 <= rank < self.state.size):
+            raise RankError(f"rank {rank} out of range for {self.state.name}")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    async def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered standard-mode send (completes once injected)."""
+        self._check_usable()
+        self._check_rank(dest)
+        machine = self._machine
+        cost = machine.p2p_cost(payload_nbytes(obj))
+        target = self.state.procs[dest]
+        if target.dead:
+            if machine.failure_detection_latency:
+                await Sleep(machine.failure_detection_latency)
+            self._raise(ProcFailedError(
+                f"send to dead rank {dest}", failed_ranks=(dest,)))
+        if cost:
+            await Sleep(cost)
+        if self.state.revoked:
+            self._raise(RevokedError(f"{self.state.name} revoked during send"))
+        self.state.universe.stats.record_message(payload_nbytes(obj))
+        self.state.universe.trace(
+            self.proc.name, "send",
+            f"{self.state.name} {self.rank}->{dest} tag={tag}")
+        self.state.board.post(self.rank, dest, tag, clone_payload(obj),
+                              self._engine.now)
+
+    async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                   *, return_status: bool = False):
+        """Blocking receive; raises ProcFailedError if the source is dead."""
+        self._check_usable()
+        if source not in (ANY_SOURCE,):
+            self._check_rank(source)
+        fut = self._engine.create_future(
+            label=f"recv:{self.state.name}:{self.rank}")
+        self.state.board.register_recv(self.rank, source, tag, fut,
+                                       self.state.dead_ranks())
+        try:
+            msg = await fut
+        except MPIError as exc:
+            self._raise(exc)
+        if return_status:
+            return msg.payload, Status(msg.src, msg.tag)
+        return msg.payload
+
+    async def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
+                       sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Combined send+recv (deadlock-free under the buffered-send model)."""
+        req = self.isend(obj, dest, sendtag)
+        value = await self.recv(source, recvtag)
+        await req.wait()
+        return value
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send: posts the message after the injection cost."""
+        self._check_usable()
+        self._check_rank(dest)
+        machine = self._machine
+        engine = self._engine
+        fut = engine.create_future(label=f"isend:{self.state.name}:{self.rank}")
+        target = self.state.procs[dest]
+        if target.dead:
+            fut.set_exception(
+                ProcFailedError(f"send to dead rank {dest}", failed_ranks=(dest,)),
+                at=engine.now + machine.failure_detection_latency)
+            return Request(fut)
+        cost = machine.p2p_cost(payload_nbytes(obj))
+        payload = clone_payload(obj)
+        self.state.universe.stats.record_message(payload_nbytes(obj))
+        arrival = engine.now + cost
+
+        def _post():
+            if not self.state.revoked:
+                self.state.board.post(self.rank, dest, tag, payload, arrival)
+            if not fut.done:
+                fut.set_result(None, at=arrival)
+
+        engine.call_at(arrival, _post)
+        return Request(fut)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        self._check_usable()
+        fut = self._engine.create_future(
+            label=f"irecv:{self.state.name}:{self.rank}")
+        self.state.board.register_recv(self.rank, source, tag, fut,
+                                       self.state.dead_ranks())
+        return Request(fut, transform=lambda msg: msg.payload)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    async def _collective(self, op_name: str, value: Any, *,
+                          kind: RvKind = RvKind.NORMAL,
+                          cost_fn: Callable[[Dict[int, Any]], float],
+                          finisher: Callable[[Dict[int, Any], List[Proc]], Dict[int, Any]],
+                          channel: str = "coll"):
+        if kind is RvKind.NORMAL:
+            self._check_usable()
+        engine = self._engine
+        idx = self.state.next_op_index(self.proc, channel)
+        key = (channel, op_name, idx)
+        state = self.state
+        detect = self._machine.failure_detection_latency
+
+        def factory():
+            return Rendezvous(engine, key, op_name, state.procs, kind,
+                              cost_fn, finisher, detect, state.rank_of)
+
+        rv = state.rtable.get_or_create(key, factory)
+        state.universe.stats.record_collective(op_name)
+        state.universe.trace(self.proc.name, "coll",
+                             f"{op_name} {state.name} r{self.rank}")
+        fut = engine.create_future(label=f"{op_name}:{state.name}:{self.rank}")
+        rv.arrive(self.proc, value, fut)
+        state.rtable.cleanup()
+        try:
+            return await fut
+        except MPIError as exc:
+            self._raise(exc)
+
+    def _coll_cost(self, arrived: Dict[int, Any]) -> float:
+        nbytes = max((payload_nbytes(v) for v in arrived.values()), default=0)
+        return self._machine.collective_cost(self.state.size, nbytes)
+
+    async def barrier(self) -> None:
+        """``MPI_Barrier`` — fails with ProcFailedError if any member is dead
+        (the paper's failure-detection probe, Fig. 3 line 13)."""
+        n = self.state.size
+        await self._collective(
+            "barrier", None,
+            cost_fn=lambda arr: self._machine.barrier_cost(n),
+            finisher=lambda arr, live: {uid: None for uid in arr})
+
+    async def bcast(self, obj: Any = None, root: int = 0):
+        self._check_rank(root)
+        state = self.state
+
+        def finisher(arrived, live):
+            root_uid = state.procs[root].uid
+            value = arrived.get(root_uid)
+            return {uid: (value if uid == root_uid else clone_payload(value))
+                    for uid in arrived}
+
+        return await self._collective(
+            "bcast", obj if self.rank == root else None,
+            cost_fn=self._coll_cost, finisher=finisher)
+
+    async def gather(self, obj: Any, root: int = 0):
+        self._check_rank(root)
+        state = self.state
+
+        def finisher(arrived, live):
+            root_uid = state.procs[root].uid
+            ordered = [arrived.get(p.uid) for p in state.procs]
+            return {uid: (ordered if uid == root_uid else None)
+                    for uid in arrived}
+
+        return await self._collective(
+            "gather", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def allgather(self, obj: Any):
+        state = self.state
+
+        def finisher(arrived, live):
+            ordered = [arrived.get(p.uid) for p in state.procs]
+            return {uid: clone_payload(ordered) for uid in arrived}
+
+        return await self._collective(
+            "allgather", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def scatter(self, objs: Optional[Sequence] = None, root: int = 0):
+        self._check_rank(root)
+        state = self.state
+
+        def finisher(arrived, live):
+            root_uid = state.procs[root].uid
+            items = arrived.get(root_uid)
+            if items is None or len(items) != state.size:
+                raise RankError(
+                    f"scatter root must supply {state.size} items")
+            return {p.uid: clone_payload(items[i])
+                    for i, p in enumerate(state.procs) if p.uid in arrived}
+
+        return await self._collective(
+            "scatter", objs if self.rank == root else None,
+            cost_fn=self._coll_cost, finisher=finisher)
+
+    async def reduce(self, obj: Any, op: Callable = SUM, root: int = 0):
+        self._check_rank(root)
+        state = self.state
+
+        def finisher(arrived, live):
+            acc = None
+            for p in state.procs:
+                v = arrived.get(p.uid)
+                if v is None:
+                    continue
+                acc = v if acc is None else op(acc, v)
+            root_uid = state.procs[root].uid
+            return {uid: (acc if uid == root_uid else None) for uid in arrived}
+
+        return await self._collective(
+            "reduce", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def allreduce(self, obj: Any, op: Callable = SUM):
+        state = self.state
+
+        def finisher(arrived, live):
+            acc = None
+            for p in state.procs:
+                v = arrived.get(p.uid)
+                if v is None:
+                    continue
+                acc = v if acc is None else op(acc, v)
+            return {uid: clone_payload(acc) for uid in arrived}
+
+        return await self._collective(
+            "allreduce", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def scan(self, obj: Any, op: Callable = SUM):
+        """``MPI_Scan``: inclusive prefix reduction by rank order."""
+        state = self.state
+
+        def finisher(arrived, live):
+            out = {}
+            acc = None
+            for p in state.procs:
+                v = arrived.get(p.uid)
+                if v is None:
+                    continue
+                acc = v if acc is None else op(acc, v)
+                out[p.uid] = clone_payload(acc)
+            return out
+
+        return await self._collective(
+            "scan", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def exscan(self, obj: Any, op: Callable = SUM):
+        """``MPI_Exscan``: exclusive prefix reduction (None on rank 0)."""
+        state = self.state
+
+        def finisher(arrived, live):
+            out = {}
+            acc = None
+            for p in state.procs:
+                v = arrived.get(p.uid)
+                if v is None:
+                    continue
+                out[p.uid] = clone_payload(acc) if acc is not None else None
+                acc = v if acc is None else op(acc, v)
+            return out
+
+        return await self._collective(
+            "exscan", obj, cost_fn=self._coll_cost, finisher=finisher)
+
+    async def gatherv(self, obj: Any, root: int = 0):
+        """``MPI_Gatherv``-style gather of variable-size contributions
+        (the simulator imposes no size constraint, so this is gather with
+        explicit naming for API parity)."""
+        return await self.gather(obj, root=root)
+
+    async def scatterv(self, objs: Optional[Sequence] = None, root: int = 0):
+        """``MPI_Scatterv``-style scatter of variable-size pieces."""
+        return await self.scatter(objs, root=root)
+
+    async def reduce_scatter_block(self, objs: Sequence, op: Callable = SUM):
+        """``MPI_Reduce_scatter_block``: element-wise reduce of per-rank
+        lists, each rank receiving its own slot of the result."""
+        state = self.state
+        if len(objs) != state.size:
+            raise RankError(f"reduce_scatter needs {state.size} items")
+
+        def finisher(arrived, live):
+            out = {}
+            for i, p in enumerate(state.procs):
+                if p.uid not in arrived:
+                    continue
+                acc = None
+                for q in state.procs:
+                    contrib = arrived.get(q.uid)
+                    if contrib is None:
+                        continue
+                    acc = contrib[i] if acc is None else op(acc, contrib[i])
+                out[p.uid] = clone_payload(acc)
+            return out
+
+        return await self._collective(
+            "reduce_scatter", list(objs), cost_fn=self._coll_cost,
+            finisher=finisher)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> Optional[Status]:
+        """``MPI_Iprobe``: non-blocking check for a matching *arrived*
+        message; returns its Status or None without consuming it."""
+        self._check_usable()
+        from .matching import PendingRecv
+        now = self._engine.now
+        queue = self.state.board.posted.get(self.rank, [])
+        fake = PendingRecv(self.rank, source, tag, None, 0)
+        best = None
+        for msg in queue:
+            if msg.arrival <= now and self.state.board._matches(fake, msg):
+                if best is None or (msg.arrival, msg.seq) < \
+                        (best.arrival, best.seq):
+                    best = msg
+        return None if best is None else Status(best.src, best.tag)
+
+    async def alltoall(self, objs: Sequence):
+        state = self.state
+        if len(objs) != state.size:
+            raise RankError(f"alltoall needs {state.size} items")
+
+        def finisher(arrived, live):
+            out = {}
+            for i, p in enumerate(state.procs):
+                if p.uid not in arrived:
+                    continue
+                out[p.uid] = [clone_payload(arrived[q.uid][i])
+                              if q.uid in arrived else None
+                              for q in state.procs]
+            return out
+
+        return await self._collective(
+            "alltoall", list(objs), cost_fn=self._coll_cost, finisher=finisher)
+
+    # ------------------------------------------------------------------
+    # communicator construction
+    # ------------------------------------------------------------------
+    async def split(self, color: Optional[int], key: int = 0) -> Optional["CommHandle"]:
+        """``MPI_Comm_split``: the paper uses this with chosen keys to restore
+        the original rank order after recovery (Fig. 3 l.24, Fig. 5 l.25)."""
+        state = self.state
+        universe = state.universe
+
+        def finisher(arrived, live):
+            by_color: Dict[int, list] = defaultdict(list)
+            for i, p in enumerate(state.procs):
+                if p.uid not in arrived:
+                    continue
+                c, k = arrived[p.uid]
+                if c is None or c == UNDEFINED:
+                    continue
+                by_color[c].append((k, i, p))
+            results: Dict[int, Any] = {uid: None for uid in arrived}
+            for c, entries in sorted(by_color.items()):
+                entries.sort(key=lambda e: (e[0], e[1]))
+                new_state = CommState(universe,
+                                      [p for _k, _i, p in entries],
+                                      name=f"{state.name}.split{c}")
+                for _k, _i, p in entries:
+                    results[p.uid] = new_state
+            return results
+
+        new_state = await self._collective(
+            "split", (color, key),
+            cost_fn=lambda arr: self._machine.collective_cost(state.size, 16),
+            finisher=finisher)
+        if new_state is None:
+            return None
+        return CommHandle(new_state, self.proc)
+
+    async def dup(self) -> "CommHandle":
+        return await self.split(0, self.rank)
+
+    def free(self) -> None:
+        """``MPI_Comm_free`` — bookkeeping only in the simulator."""
+        self.state.errhandlers.pop(self.proc.uid, None)
+
+    # ------------------------------------------------------------------
+    # dynamic processes
+    # ------------------------------------------------------------------
+    async def spawn_multiple(self, count: int, entry, argv=(),
+                             host_names: Optional[Sequence[str]] = None,
+                             root: int = 0):
+        """``MPI_Comm_spawn_multiple``: launch ``count`` new processes, each
+        optionally pinned to a named host, returning the parent side of the
+        new intercommunicator.  Collective over this communicator.
+
+        The virtual-time cost follows the calibrated beta-ULFM curve
+        (Table I): it grows steeply with the total core count.
+        """
+        from .intercomm import IntercommHandle  # local import to avoid cycle
+        state = self.state
+        universe = state.universe
+        n_cores = state.size + count
+        cost = self._machine.ulfm.spawn(n_cores, count)
+
+        def finisher(arrived, live):
+            # children begin at the rendezvous completion time
+            inter_state = universe.create_spawned_job(
+                state, count, entry, argv, host_names,
+                start_at=universe.engine.now + cost)
+            return {uid: inter_state for uid in arrived}
+
+        inter_state = await self._collective(
+            "spawn_multiple", (count, tuple(host_names or ())),
+            cost_fn=lambda arr: cost, finisher=finisher)
+        return IntercommHandle(inter_state, self.proc, side="local")
+
+    # ------------------------------------------------------------------
+    # ULFM extensions
+    # ------------------------------------------------------------------
+    def revoke(self) -> None:
+        """``OMPI_Comm_revoke``: locally returning; propagates asynchronously
+        and fails every pending/future operation on this communicator."""
+        state = self.state
+        engine = self._engine
+        delay = self._machine.ulfm.revoke(state.size)
+        engine.call_at(engine.now + delay, state.do_revoke, engine.now + delay)
+
+    async def shrink(self) -> "CommHandle":
+        """``OMPI_Comm_shrink``: fault-tolerant; returns a new communicator
+        containing the survivors in their original relative order."""
+        state = self.state
+        universe = state.universe
+        n_failed = max(1, state.n_failed())
+        cost = self._machine.ulfm.shrink(state.size, n_failed)
+
+        def finisher(arrived, live):
+            order = {p.uid: i for i, p in enumerate(state.procs)}
+            survivors = sorted(live, key=lambda p: order[p.uid])
+            new_state = CommState(universe, survivors,
+                                  name=f"{state.name}.shrunk")
+            return {uid: new_state for uid in arrived}
+
+        new_state = await self._collective(
+            "shrink", None, kind=RvKind.SURVIVOR,
+            cost_fn=lambda arr: cost, finisher=finisher, channel="shrink")
+        return CommHandle(new_state, self.proc)
+
+    async def agree(self, flag: int = 1) -> int:
+        """``OMPI_Comm_agree``: fault-tolerant agreement among survivors;
+        returns the bitwise AND of the contributed flags."""
+        state = self.state
+        n_failed = state.n_failed()
+        if n_failed == 0:
+            # failure-free agreement: a handful of ordinary collective rounds
+            cost = 4.0 * self._machine.collective_cost(state.size, 8)
+        else:
+            cost = self._machine.ulfm.agree(state.size, n_failed)
+
+        def finisher(arrived, live):
+            acc = None
+            for v in arrived.values():
+                acc = v if acc is None else (acc & v)
+            return {uid: acc for uid in arrived}
+
+        return await self._collective(
+            "agree", int(flag), kind=RvKind.SURVIVOR,
+            cost_fn=lambda arr: cost, finisher=finisher, channel="agree")
+
+    def failure_ack(self) -> None:
+        """``OMPI_Comm_failure_ack``: snapshot currently-known failures."""
+        dead = tuple(p for p in self.state.procs if p.dead)
+        self.state.acked[self.proc.uid] = dead
+
+    def failure_get_acked(self) -> Group:
+        """``OMPI_Comm_failure_get_acked``: the acknowledged failed group."""
+        return Group(self.state.acked.get(self.proc.uid, ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommHandle({self.state.name!r}, rank={self.rank}/{self.size})"

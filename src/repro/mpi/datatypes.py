@@ -1,0 +1,55 @@
+"""Payload handling: size estimation and value-semantics cloning.
+
+The simulator passes Python objects between coroutines in the same address
+space.  Real MPI has value semantics (the receiver gets a copy), so mutable
+payloads — NumPy arrays in particular — are cloned on send.  Sizes feed the
+alpha–beta cost model.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+#: assumed wire size of an opaque small Python object (headers, ints, ...)
+_SCALAR_BYTES = 8
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the number of bytes ``obj`` would occupy on the wire."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return _SCALAR_BYTES + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return _SCALAR_BYTES + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    # opaque object: a conservative fixed guess keeps the model deterministic
+    return max(_SCALAR_BYTES, sys.getsizeof(obj) // 2)
+
+
+def clone_payload(obj: Any) -> Any:
+    """Copy mutable numerical payloads so sender/receiver don't alias.
+
+    Immutable objects are returned as-is.  Containers are cloned
+    shallow-recursively (arrays within lists/tuples/dicts are copied).
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [clone_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(clone_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: clone_payload(v) for k, v in obj.items()}
+    return obj

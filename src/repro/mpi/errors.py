@@ -1,0 +1,59 @@
+"""MPI error classes, mirroring the ULFM error codes the paper relies on.
+
+The real ULFM API reports failures through return codes
+(``MPI_ERR_PROC_FAILED``, ``MPI_ERR_REVOKED``).  In Python we raise
+exceptions instead; the exception classes carry the matching ``error_code``
+so recovery code can be written either style.
+"""
+
+from __future__ import annotations
+
+MPI_SUCCESS = 0
+MPI_ERR_COMM = 5
+MPI_ERR_PROC_FAILED = 75
+MPI_ERR_REVOKED = 76
+
+#: wildcard source rank (``MPI_ANY_SOURCE``)
+ANY_SOURCE = -1
+#: wildcard message tag (``MPI_ANY_TAG``)
+ANY_TAG = -2
+#: invalid rank/translation result (``MPI_UNDEFINED``)
+UNDEFINED = -3
+
+
+class MPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+    error_code = MPI_ERR_COMM
+
+    def __init__(self, message: str = "", *, comm=None):
+        super().__init__(message or self.__class__.__name__)
+        self.comm = comm
+
+
+class ProcFailedError(MPIError):
+    """``MPI_ERR_PROC_FAILED``: a communication peer is dead.
+
+    ``failed_ranks`` lists the ranks (in the communicator the operation ran
+    on) this error is attributable to, when known.
+    """
+
+    error_code = MPI_ERR_PROC_FAILED
+
+    def __init__(self, message: str = "", *, comm=None, failed_ranks=()):
+        super().__init__(message, comm=comm)
+        self.failed_ranks = tuple(failed_ranks)
+
+
+class RevokedError(MPIError):
+    """``MPI_ERR_REVOKED``: the communicator was revoked by some rank."""
+
+    error_code = MPI_ERR_REVOKED
+
+
+class CommInvalidError(MPIError):
+    """Operation on a null/freed communicator."""
+
+
+class RankError(MPIError):
+    """Out-of-range rank or malformed argument."""

@@ -1,0 +1,112 @@
+"""MPI process groups.
+
+Groups are immutable ordered collections of simulated processes.  The
+failed-process identification procedure of the paper (Fig. 6) is built
+entirely from the group operations implemented here:
+``MPI_Group_compare``, ``MPI_Group_difference`` and
+``MPI_Group_translate_ranks``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .errors import UNDEFINED, RankError
+
+# MPI_Group_compare results
+IDENT = 0       #: same members, same order
+SIMILAR = 1     #: same members, different order
+UNEQUAL = 2     #: different members
+
+
+class Group:
+    """Immutable ordered set of processes; rank == position."""
+
+    __slots__ = ("procs",)
+
+    def __init__(self, procs: Iterable):
+        self.procs: Tuple = tuple(procs)
+        if len(set(p.uid for p in self.procs)) != len(self.procs):
+            raise RankError("duplicate process in group")
+
+    # -- basics ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def __len__(self) -> int:
+        return len(self.procs)
+
+    def __iter__(self):
+        return iter(self.procs)
+
+    def __contains__(self, proc) -> bool:
+        return any(p.uid == proc.uid for p in self.procs)
+
+    def rank_of(self, proc) -> int:
+        """Rank of ``proc`` in this group, or ``UNDEFINED``."""
+        for i, p in enumerate(self.procs):
+            if p.uid == proc.uid:
+                return i
+        return UNDEFINED
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Group) and \
+            [p.uid for p in self.procs] == [p.uid for p in other.procs]
+
+    def __hash__(self):
+        return hash(tuple(p.uid for p in self.procs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group[{', '.join(p.name for p in self.procs)}]"
+
+    # -- MPI group algebra ---------------------------------------------------
+    def compare(self, other: "Group") -> int:
+        """``MPI_Group_compare``: IDENT, SIMILAR or UNEQUAL."""
+        mine = [p.uid for p in self.procs]
+        theirs = [p.uid for p in other.procs]
+        if mine == theirs:
+            return IDENT
+        if sorted(mine) == sorted(theirs):
+            return SIMILAR
+        return UNEQUAL
+
+    def difference(self, other: "Group") -> "Group":
+        """``MPI_Group_difference``: my members not in ``other`` (my order)."""
+        theirs = {p.uid for p in other.procs}
+        return Group(p for p in self.procs if p.uid not in theirs)
+
+    def intersection(self, other: "Group") -> "Group":
+        theirs = {p.uid for p in other.procs}
+        return Group(p for p in self.procs if p.uid in theirs)
+
+    def union(self, other: "Group") -> "Group":
+        mine = {p.uid for p in self.procs}
+        extra = [p for p in other.procs if p.uid not in mine]
+        return Group(list(self.procs) + extra)
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """``MPI_Group_incl``: sub-group of the given ranks, in that order."""
+        try:
+            return Group(self.procs[r] for r in ranks)
+        except IndexError as exc:
+            raise RankError(f"rank out of range in incl({ranks})") from exc
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        bad = set(ranks)
+        for r in bad:
+            if not (0 <= r < self.size):
+                raise RankError(f"rank {r} out of range in excl")
+        return Group(p for i, p in enumerate(self.procs) if i not in bad)
+
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> List[int]:
+        """``MPI_Group_translate_ranks``: map my ranks to ranks in ``other``.
+
+        Unmatched processes map to ``UNDEFINED``.
+        """
+        out = []
+        for r in ranks:
+            if not (0 <= r < self.size):
+                raise RankError(f"rank {r} out of range in translate_ranks")
+            out.append(other.rank_of(self.procs[r]))
+        return out

@@ -1,0 +1,131 @@
+"""Point-to-point message matching for one communicator.
+
+Sends are *eager/buffered*: the sender charges the alpha–beta injection cost
+and completes; the message arrives at ``send_time + cost``.  Receives match
+posted messages in (source, tag) FIFO order, honouring ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards with deterministic earliest-arrival tie-breaking.
+
+Failure semantics (ULFM fail-stop):
+
+* a receive whose named source is dead, with no matching in-flight message,
+  fails with :class:`ProcFailedError` after the detection latency;
+* messages already in flight from a rank that subsequently dies are still
+  delivered (matching eager-protocol MPI behaviour);
+* revoking the communicator fails every pending receive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .errors import ANY_SOURCE, ANY_TAG, ProcFailedError, RevokedError
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    arrival: float
+    seq: int
+
+
+@dataclass
+class PendingRecv:
+    dst: int
+    source: int  # may be ANY_SOURCE
+    tag: int     # may be ANY_TAG
+    future: Any  # SimFuture resolved with the Message
+    seq: int
+
+
+class MessageBoard:
+    """Per-communicator mailbox with deterministic matching."""
+
+    def __init__(self, engine, detection_latency: float):
+        self.engine = engine
+        self.detection_latency = detection_latency
+        self._seq = itertools.count()
+        #: undelivered messages keyed by destination rank
+        self.posted: Dict[int, List[Message]] = {}
+        #: blocked receivers keyed by destination rank
+        self.waiting: Dict[int, List[PendingRecv]] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches(recv: PendingRecv, msg: Message) -> bool:
+        return ((recv.source == ANY_SOURCE or recv.source == msg.src) and
+                (recv.tag == ANY_TAG or recv.tag == msg.tag))
+
+    def post(self, src: int, dst: int, tag: int, payload: Any, arrival: float) -> None:
+        """Deliver/enqueue a message; wakes a matching blocked receiver."""
+        msg = Message(src, dst, tag, payload, arrival, next(self._seq))
+        queue = self.waiting.get(dst)
+        if queue:
+            for i, recv in enumerate(queue):
+                if self._matches(recv, msg):
+                    queue.pop(i)
+                    recv.future.set_result(msg, at=arrival)
+                    return
+        self.posted.setdefault(dst, []).append(msg)
+
+    def register_recv(self, dst: int, source: int, tag: int, future,
+                      dead_ranks: frozenset) -> None:
+        """Try to match a receive; otherwise block (or fail fast on a dead source)."""
+        queue = self.posted.get(dst)
+        if queue:
+            best: Optional[int] = None
+            for i, msg in enumerate(queue):
+                fake = PendingRecv(dst, source, tag, None, 0)
+                if self._matches(fake, msg):
+                    if best is None or (msg.arrival, msg.seq) < (queue[best].arrival, queue[best].seq):
+                        best = i
+            if best is not None:
+                msg = queue.pop(best)
+                future.set_result(msg, at=max(msg.arrival, self.engine.now))
+                return
+        if source != ANY_SOURCE and source in dead_ranks:
+            future.set_exception(
+                ProcFailedError(f"recv source rank {source} is dead",
+                                failed_ranks=(source,)),
+                at=self.engine.now + self.detection_latency)
+            return
+        self.waiting.setdefault(dst, []).append(
+            PendingRecv(dst, source, tag, future, next(self._seq)))
+
+    # ------------------------------------------------------------------
+    # failure propagation
+    # ------------------------------------------------------------------
+    def on_rank_death(self, rank: int, now: float) -> None:
+        """Fail blocked receives that name the dead rank as their source."""
+        for dst, queue in self.waiting.items():
+            still = []
+            for recv in queue:
+                if recv.source == rank:
+                    recv.future.set_exception(
+                        ProcFailedError(f"recv source rank {rank} died",
+                                        failed_ranks=(rank,)),
+                        at=now + self.detection_latency)
+                else:
+                    still.append(recv)
+            self.waiting[dst] = still
+
+    def fail_rank_waiters(self, dst: int, exc, at: float) -> None:
+        """Fail every blocked receive of rank ``dst`` (used when dst dies is
+        handled by task kill; this is used for revocation)."""
+        for recv in self.waiting.pop(dst, []):
+            recv.future.set_exception(exc, at=at)
+
+    def revoke_all(self, now: float) -> None:
+        """Fail every blocked receive: the communicator was revoked."""
+        for dst in list(self.waiting):
+            for recv in self.waiting.pop(dst):
+                recv.future.set_exception(
+                    RevokedError("communicator revoked"), at=now)
+
+    def drop_waiters_of(self, dst: int) -> None:
+        """Forget pending receives of a rank that itself died."""
+        self.waiting.pop(dst, None)

@@ -1,0 +1,52 @@
+"""Simulated MPI processes."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Set
+
+_uid_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+class Proc:
+    """One simulated OS process running one MPI rank program.
+
+    A ``Proc`` is bound to a host slot, owns a kernel task and participates
+    in any number of communicators.  Fail-stop death is recorded here and
+    observed by peers through the ULFM machinery.
+    """
+
+    __slots__ = ("uid", "name", "host", "job", "task", "dead", "death_time",
+                 "comm_states", "spawned", "_slot_released")
+
+    def __init__(self, name: str, host, job=None):
+        self.uid = _next_uid()
+        self.name = name
+        self.host = host
+        self.job = job
+        self.task = None            # kernel Task, set at launch
+        self.dead = False
+        self.death_time: Optional[float] = None
+        #: communicator states this proc belongs to (for death notification)
+        self.comm_states: Set = set()
+        #: True if this proc was created by spawn_multiple (a "child")
+        self.spawned = False
+        self._slot_released = False
+
+    def release_slot(self) -> None:
+        """Free this process's host slot (exit or kill); idempotent."""
+        if not self._slot_released and self.host is not None:
+            self.host.occupied -= 1
+            self._slot_released = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "dead" if self.dead else "alive"
+        return f"Proc({self.name!r}, {status}, host={self.host.name if self.host else None})"

@@ -1,0 +1,38 @@
+"""Communication statistics: counters the universe keeps while running.
+
+Useful for performance debugging and for the documentation examples — a
+cheap, always-on profiler of the simulated MPI traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CommStats:
+    """Aggregate counters over one universe's lifetime."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    collectives: Counter = field(default_factory=Counter)
+    comms_created: int = 0
+    spawns: int = 0
+    procs_spawned: int = 0
+    kills: int = 0
+
+    def record_message(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+
+    def record_collective(self, op_name: str) -> None:
+        self.collectives[op_name] += 1
+
+    def summary(self) -> str:
+        colls = ", ".join(f"{k}:{v}" for k, v in
+                          sorted(self.collectives.items()))
+        return (f"messages={self.messages} bytes={self.bytes_sent} "
+                f"comms={self.comms_created} spawns={self.spawns} "
+                f"(+{self.procs_spawned} procs) kills={self.kills} "
+                f"collectives[{colls}]")

@@ -1,0 +1,68 @@
+"""MPI-level event tracing.
+
+Attach a :class:`Tracer` to a universe to record every message, collective,
+kill and spawn with its virtual timestamp — then render a text timeline or
+per-operation histogram.  Used for debugging recovery protocols and by the
+documentation examples; tracing is off (a no-op stub) by default.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    actor: str
+    kind: str       #: "send" | "coll" | "kill" | "spawn" | custom
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.actor:>14s} {self.kind:<6s} {self.detail}"
+
+
+class Tracer:
+    """Bounded in-memory MPI event recorder."""
+
+    def __init__(self, max_events: int = 100_000):
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(self, time: float, actor: str, kind: str, detail: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, actor, kind, detail))
+
+    # ------------------------------------------------------------------
+    def filter(self, *, kind: Optional[str] = None,
+               actor: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if actor is not None:
+            out = [e for e in out if e.actor == actor]
+        return out
+
+    def histogram(self) -> Counter:
+        """Event counts by (kind, first token of detail)."""
+        c: Counter = Counter()
+        for e in self.events:
+            c[(e.kind, e.detail.split()[0] if e.detail else "")] += 1
+        return c
+
+    def timeline(self, limit: int = 50, *, kind: Optional[str] = None
+                 ) -> str:
+        events = self.filter(kind=kind)[:limit]
+        lines = [str(e) for e in events]
+        extra = len(self.filter(kind=kind)) - len(events) + self.dropped
+        if extra > 0:
+            lines.append(f"... ({extra} more)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

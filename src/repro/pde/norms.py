@@ -1,0 +1,25 @@
+"""Grid-function norms used for the accuracy experiments (Fig. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l1(a: np.ndarray, b: np.ndarray = None) -> float:
+    """Grid-averaged l1 norm of ``a`` (or of ``a - b``).
+
+    The paper reports "the average of the l1-norm of the difference between
+    the combined grid solution and exact analytical solution".
+    """
+    d = a if b is None else a - b
+    return float(np.mean(np.abs(d)))
+
+
+def l2(a: np.ndarray, b: np.ndarray = None) -> float:
+    d = a if b is None else a - b
+    return float(np.sqrt(np.mean(d * d)))
+
+
+def linf(a: np.ndarray, b: np.ndarray = None) -> float:
+    d = a if b is None else a - b
+    return float(np.max(np.abs(d)))

@@ -1,0 +1,160 @@
+"""Domain-decomposed Lax–Wendroff solver running over a simulated MPI group.
+
+One instance lives on each rank of a sub-grid's process group.  State is a
+slab of the periodic array; each step exchanges one halo row with each
+periodic neighbour, computes the stencil on the padded block, and charges
+the virtual-time cost of the flops.
+
+The solver also provides the state-motion primitives the recovery
+techniques need: ``gather_full`` (root assembles the whole sub-grid),
+``scatter_full`` (root redistributes a replacement state, e.g. after
+restart or resampling), and ``snapshot``/``restore`` of the local slab for
+checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .decomposition import SlabDecomposition, choose_axis
+from .lax_wendroff import (FLOPS_PER_POINT, nodal_view,
+                           periodic_from_initial)
+
+_HALO_TAG_UP = 101
+_HALO_TAG_DOWN = 102
+
+
+class DistributedAdvectionSolver:
+    """Solver for one anisotropic sub-grid on one process group."""
+
+    def __init__(self, ctx, comm, problem, level_x: int, level_y: int,
+                 dt: float, compute_scale: float = 1.0):
+        self.ctx = ctx
+        self.comm = comm
+        self.problem = problem
+        self.level_x = level_x
+        self.level_y = level_y
+        self.dt = dt
+        #: multiplier on the virtual compute cost per step — models more
+        #: expensive per-cell physics (or a finer grid) without changing
+        #: the actual numerics; see DESIGN.md on timing-scale substitution
+        self.compute_scale = compute_scale
+        self.axis = choose_axis(level_x, level_y)
+        n_axis = 1 << (level_x if self.axis == 0 else level_y)
+        self.decomp = SlabDecomposition(n_axis, comm.size, self.axis)
+        self.step_count = 0
+        lo, hi = self.decomp.bounds(comm.rank)
+        full = periodic_from_initial(problem, level_x, level_y)
+        self.u = np.ascontiguousarray(
+            full[lo:hi, :] if self.axis == 0 else full[:, lo:hi])
+
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        return self.step_count * self.dt
+
+    @property
+    def shape(self):
+        return (1 << self.level_x, 1 << self.level_y)
+
+    def _slab(self, arr: np.ndarray) -> np.ndarray:
+        """My slab of a full periodic array."""
+        lo, hi = self.decomp.bounds(self.comm.rank)
+        return np.ascontiguousarray(
+            arr[lo:hi, :] if self.axis == 0 else arr[:, lo:hi])
+
+    # ------------------------------------------------------------------
+    # time stepping
+    # ------------------------------------------------------------------
+    async def exchange_halos(self) -> np.ndarray:
+        """Return the padded block (one ghost layer on all four sides)."""
+        comm = self.comm
+        u = self.u if self.axis == 0 else self.u.T
+        prev_r, next_r = self.decomp.neighbours(comm.rank)
+        if comm.size == 1:
+            lo_ghost, hi_ghost = u[-1, :].copy(), u[0, :].copy()
+        else:
+            req_a = comm.isend(u[0, :].copy(), dest=prev_r, tag=_HALO_TAG_UP)
+            req_b = comm.isend(u[-1, :].copy(), dest=next_r, tag=_HALO_TAG_DOWN)
+            lo_ghost = await comm.recv(source=prev_r, tag=_HALO_TAG_DOWN)
+            hi_ghost = await comm.recv(source=next_r, tag=_HALO_TAG_UP)
+            await req_a.wait()
+            await req_b.wait()
+        nloc, ny = u.shape
+        w = np.empty((nloc + 2, ny + 2), dtype=u.dtype)
+        w[1:-1, 1:-1] = u
+        w[0, 1:-1] = lo_ghost
+        w[-1, 1:-1] = hi_ghost
+        # periodic wrap in the non-decomposed axis (corners included)
+        w[:, 0] = w[:, -2]
+        w[:, -1] = w[:, 1]
+        return w
+
+    async def step(self, n: int = 1) -> None:
+        transposed = self.axis == 1
+        for _ in range(n):
+            w = await self.exchange_halos()
+            unew = self.problem.step_interior(
+                w, self.level_x, self.level_y, self.dt,
+                transposed=transposed)
+            self.u = unew if self.axis == 0 else np.ascontiguousarray(unew.T)
+            self.step_count += 1
+            await self.ctx.compute(
+                flops=FLOPS_PER_POINT * self.u.size * self.compute_scale)
+
+    def rebind(self, new_comm) -> None:
+        """Swap in a replacement communicator after reconstruction.
+
+        The repaired communicator preserves size and rank order, so the
+        decomposition (and this rank's slab) stays valid.
+        """
+        if new_comm.size != self.comm.size or new_comm.rank != self.comm.rank:
+            raise ValueError(
+                "replacement communicator must preserve size and rank "
+                f"(got rank {new_comm.rank}/{new_comm.size}, had "
+                f"{self.comm.rank}/{self.comm.size})")
+        self.comm = new_comm
+
+    # ------------------------------------------------------------------
+    # state motion
+    # ------------------------------------------------------------------
+    async def gather_full(self, root: int = 0) -> Optional[np.ndarray]:
+        """Assemble the whole periodic array on ``root`` (None elsewhere)."""
+        parts = await self.comm.gather(self.u, root=root)
+        if parts is None:
+            return None
+        return np.concatenate(parts, axis=self.axis)
+
+    async def gather_nodal(self, root: int = 0) -> Optional[np.ndarray]:
+        full = await self.gather_full(root)
+        return None if full is None else nodal_view(full)
+
+    async def scatter_full(self, full: Optional[np.ndarray], root: int = 0,
+                           step_count: Optional[int] = None) -> None:
+        """Replace the state from a full periodic array held by ``root``."""
+        if self.comm.rank == root:
+            chunks = []
+            for p in range(self.comm.size):
+                lo, hi = self.decomp.bounds(p)
+                chunks.append(full[lo:hi, :] if self.axis == 0
+                              else np.ascontiguousarray(full[:, lo:hi]))
+        else:
+            chunks = None
+        self.u = await self.comm.scatter(chunks, root=root)
+        if step_count is not None:
+            self.step_count = step_count
+
+    # ------------------------------------------------------------------
+    # checkpoint support (local slab only; the Disk charges I/O cost)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"u": self.u.copy(), "step_count": self.step_count,
+                "level_x": self.level_x, "level_y": self.level_y}
+
+    def restore(self, snap: dict) -> None:
+        if (snap["level_x"], snap["level_y"]) != (self.level_x, self.level_y):
+            raise ValueError("checkpoint is for a different sub-grid")
+        self.u = snap["u"].copy()
+        self.step_count = snap["step_count"]

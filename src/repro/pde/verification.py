@@ -1,0 +1,49 @@
+"""Numerical verification utilities: convergence orders and extrapolation.
+
+Used by tests and by anyone extending the solver: a second-order scheme
+must demonstrably converge at second order, and the combination technique's
+accuracy gain must be measurable against single-grid solves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .advection import AdvectionProblem
+from .lax_wendroff import SerialAdvectionSolver
+from .norms import l1
+
+
+def observed_orders(errors: Sequence[float], ratio: float = 2.0
+                    ) -> List[float]:
+    """Convergence orders from successive errors at refinement ``ratio``."""
+    out = []
+    for a, b in zip(errors, errors[1:]):
+        if a <= 0 or b <= 0:
+            raise ValueError("errors must be positive")
+        out.append(math.log(a / b) / math.log(ratio))
+    return out
+
+
+def convergence_study(problem: AdvectionProblem, levels: Sequence[int],
+                      t_end: float, cfl: float = 0.4
+                      ) -> List[Tuple[int, float]]:
+    """Solve to ``t_end`` on square grids of the given levels; returns
+    (level, l1 error) pairs.  The timestep halves with each refinement, so
+    the observed order includes both space and time accuracy."""
+    out = []
+    for lev in levels:
+        dt = problem.stable_dt(lev, cfl)
+        steps = max(1, round(t_end / dt))
+        solver = SerialAdvectionSolver(problem, lev, lev, t_end / steps)
+        solver.step(steps)
+        out.append((lev, l1(solver.nodal(), solver.exact_nodal())))
+    return out
+
+
+def richardson_error_estimate(coarse: float, fine: float,
+                              order: int = 2, ratio: float = 2.0) -> float:
+    """Richardson estimate of the fine solution's error from two values of
+    a scalar functional computed at successive resolutions."""
+    return abs(fine - coarse) / (ratio ** order - 1.0)

@@ -1,0 +1,23 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the foundation of the reproduction: every simulated MPI rank
+is a coroutine scheduled by :class:`Engine` in virtual time.  See DESIGN.md
+section 3.
+"""
+
+from .engine import Engine
+from .errors import DeadlockError, SimError, SimulationLimitError, TaskFailedError
+from .task import Task, TaskState
+from .traps import SimFuture, Sleep
+
+__all__ = [
+    "Engine",
+    "Task",
+    "TaskState",
+    "SimFuture",
+    "Sleep",
+    "SimError",
+    "DeadlockError",
+    "TaskFailedError",
+    "SimulationLimitError",
+]

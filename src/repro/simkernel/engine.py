@@ -1,0 +1,187 @@
+"""Deterministic discrete-event engine driving coroutine tasks in virtual time.
+
+The engine is a priority queue of ``(time, seq, action)`` events.  ``seq`` is
+a monotonically increasing tiebreaker, so two runs of the same program with
+the same inputs produce the *identical* event order — a property the test
+suite checks and which the fault-tolerance experiments rely on for
+reproducible failure timing.
+
+Virtual time is completely decoupled from wall-clock time: a task only
+advances the clock by awaiting :class:`~repro.simkernel.traps.Sleep` (the
+machine model charges compute/IO/network costs this way) or by blocking on a
+:class:`~repro.simkernel.traps.SimFuture` resolved at a later time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Coroutine, Iterable, Optional
+
+from .errors import DeadlockError, SimulationLimitError, TaskFailedError
+from .task import Task, TaskState
+from .traps import SimFuture, Sleep
+
+
+class Engine:
+    """Virtual-time coroutine scheduler."""
+
+    def __init__(self, *, trace: bool = False, max_events: int = 50_000_000):
+        self.now: float = 0.0
+        self._seq = itertools.count()
+        self._queue: list = []  # heap of (time, seq, kind, payload)
+        self._tasks: dict[int, Task] = {}
+        self._tid = itertools.count()
+        self.max_events = max_events
+        self.events_processed = 0
+        self.trace_enabled = trace
+        self.trace: list[tuple] = []
+        self.failed_tasks: list[Task] = []
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+    def spawn(self, coro: Coroutine, name: str = "", *, at: Optional[float] = None) -> Task:
+        """Create a task and schedule its first step at ``at`` (default: now)."""
+        task = Task(self, next(self._tid), name or f"task{len(self._tasks)}", coro)
+        self._tasks[task.tid] = task
+        task.state = TaskState.READY
+        start = self.now if at is None else max(at, self.now)
+        task.started_at = start
+        self._schedule(start, ("resume", task, None, None))
+        return task
+
+    def create_future(self, label: str = "") -> SimFuture:
+        return SimFuture(self, label)
+
+    def kill(self, task: Task) -> None:
+        """Fail-stop termination: the task never runs again.
+
+        Kill hooks fire first (so the MPI layer can fail pending partners),
+        then the coroutine is closed, raising ``GeneratorExit`` at its
+        current suspension point so ``finally`` blocks still run.
+        """
+        if not task.alive:
+            return
+        if task.blocked and isinstance(task.waiting_on, SimFuture):
+            task.waiting_on.discard_waiter(task)
+        task.state = TaskState.KILLED
+        task.finished_at = self.now
+        for hook in list(task.kill_hooks):
+            hook(task)
+        task.kill_hooks.clear()
+        try:
+            task.coro.close()
+        except RuntimeError:  # pragma: no cover - coroutine being stepped
+            pass
+        if not task.done_future.done:
+            task.done_future.set_exception(TaskFailedError(task, GeneratorExit("killed")))
+
+    def tasks(self) -> Iterable[Task]:
+        return self._tasks.values()
+
+    # ------------------------------------------------------------------
+    # event queue
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, event: tuple) -> None:
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+
+    def call_at(self, time: float, fn, *args) -> None:
+        """Run ``fn(*args)`` at virtual time ``time`` (>= now)."""
+        self._schedule(max(time, self.now), ("call", fn, args, None))
+
+    def call_later(self, delay: float, fn, *args) -> None:
+        self.call_at(self.now + delay, fn, *args)
+
+    def _wake_from_future(self, task: Task, fut: SimFuture) -> None:
+        """Called by SimFuture when it resolves with ``task`` blocked on it."""
+        if not task.alive:
+            return
+        task.state = TaskState.READY
+        task.waiting_on = None
+        when = max(fut.resolution_time, self.now)
+        if fut.exception() is not None:
+            self._schedule(when, ("resume", task, None, fut.exception()))
+        else:
+            self._schedule(when, ("resume", task, fut._result, None))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, *, until: Optional[float] = None, raise_task_failures: bool = True) -> float:
+        """Process events until the queue drains (or virtual time ``until``).
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if the
+        queue drains while live tasks are still blocked, and
+        :class:`TaskFailedError` for the first task that died with an
+        unhandled exception (unless ``raise_task_failures=False``).
+        """
+        while self._queue:
+            time, _seq, event = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimulationLimitError(
+                    f"exceeded {self.max_events} events at t={self.now:g}")
+            self.now = max(self.now, time)
+            kind = event[0]
+            if kind == "resume":
+                _, task, value, exc = event
+                self._step(task, value, exc)
+            elif kind == "call":
+                _, fn, args, _ = event
+                fn(*args)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+
+        if raise_task_failures and self.failed_tasks:
+            t = self.failed_tasks[0]
+            raise TaskFailedError(t, t.exception) from t.exception
+        blocked = [t for t in self._tasks.values() if t.alive and t.blocked]
+        if blocked and until is None:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _step(self, task: Task, value: Any, exc: Optional[BaseException]) -> None:
+        if not task.alive or task.state is not TaskState.READY:
+            return
+        task.state = TaskState.RUNNING
+        if self.trace_enabled:
+            self.trace.append((self.now, task.name, "step"))
+        try:
+            if exc is not None:
+                trap = task.coro.throw(exc)
+            else:
+                trap = task.coro.send(value)
+        except StopIteration as stop:
+            task.state = TaskState.DONE
+            task.result = stop.value
+            task.finished_at = self.now
+            task.done_future.set_result(stop.value)
+            return
+        except BaseException as err:  # task died with unhandled exception
+            task.state = TaskState.FAILED
+            task.exception = err
+            task.finished_at = self.now
+            self.failed_tasks.append(task)
+            task.done_future.set_exception(TaskFailedError(task, err))
+            return
+
+        if isinstance(trap, Sleep):
+            task.state = TaskState.READY
+            task.waiting_on = trap
+            self._schedule(self.now + trap.duration, ("resume", task, None, None))
+        elif isinstance(trap, SimFuture):
+            if trap.done:
+                task.state = TaskState.READY
+                self._wake_from_future(task, trap)
+            else:
+                task.state = TaskState.WAITING
+                task.waiting_on = trap
+                trap._waiters.append(task)
+        else:
+            raise RuntimeError(
+                f"task {task.name} awaited unsupported object {trap!r}; "
+                "only Sleep and SimFuture are legal traps")

@@ -1,0 +1,34 @@
+"""Exceptions raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when the event queue drains while tasks are still waiting.
+
+    The message lists every blocked task and what it is waiting on, which is
+    usually enough to diagnose a mismatched send/recv or a collective that a
+    participant never entered.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        lines = ", ".join(f"{t.name}(waiting on {t.waiting_on!r})" for t in self.blocked)
+        super().__init__(f"simulation deadlock: {len(self.blocked)} task(s) blocked: {lines}")
+
+
+class TaskFailedError(SimError):
+    """Raised by :meth:`Engine.run` when a task died with an unhandled exception."""
+
+    def __init__(self, task, exc):
+        self.task = task
+        self.original = exc
+        super().__init__(f"task {task.name} failed with {exc!r}")
+
+
+class SimulationLimitError(SimError):
+    """Raised when the engine exceeds its configured event budget."""

@@ -1,0 +1,61 @@
+"""Task objects wrapping rank coroutines."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Coroutine, Optional
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"
+    READY = "ready"       # resume event queued
+    RUNNING = "running"   # currently being stepped
+    WAITING = "waiting"   # blocked on a SimFuture
+    DONE = "done"         # coroutine returned
+    FAILED = "failed"     # coroutine raised
+    KILLED = "killed"     # externally terminated (fail-stop)
+
+
+class Task:
+    """A coroutine scheduled on the engine.
+
+    ``meta`` is a free-form dict used by higher layers (the MPI layer stores
+    the owning simulated process there).  ``kill_hooks`` are callbacks run
+    when the task is killed, letting the MPI layer fail communication
+    partners of a dead rank.
+    """
+
+    __slots__ = (
+        "tid", "name", "coro", "state", "result", "exception",
+        "waiting_on", "meta", "kill_hooks", "done_future",
+        "started_at", "finished_at", "engine",
+    )
+
+    def __init__(self, engine, tid: int, name: str, coro: Coroutine):
+        self.engine = engine
+        self.tid = tid
+        self.name = name
+        self.coro = coro
+        self.state = TaskState.CREATED
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.waiting_on = None  # SimFuture | Sleep | None
+        self.meta: dict = {}
+        self.kill_hooks: list[Callable[["Task"], None]] = []
+        self.done_future = engine.create_future(label=f"join:{name}")
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (TaskState.DONE, TaskState.FAILED, TaskState.KILLED)
+
+    @property
+    def blocked(self) -> bool:
+        return self.state is TaskState.WAITING
+
+    def add_kill_hook(self, hook: Callable[["Task"], None]) -> None:
+        self.kill_hooks.append(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, {self.state.value})"

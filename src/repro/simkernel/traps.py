@@ -1,0 +1,122 @@
+"""Awaitable primitives understood by the simulation engine.
+
+Rank programs are ordinary ``async def`` coroutines.  Whenever they ``await``
+one of the objects defined here, control returns to the
+:class:`~repro.simkernel.engine.Engine`, which decides when (in *virtual*
+time) the coroutine resumes and with what value.  Only two primitives exist:
+
+* :class:`Sleep` — advance this task's clock by a fixed amount of virtual
+  time (used by the machine model to charge compute / I/O costs).
+* :class:`SimFuture` — a one-shot synchronisation cell.  Every higher-level
+  operation (message arrival, collective completion, task join) is built
+  from futures by the MPI layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Sleep:
+    """Awaitable that suspends the current task for ``duration`` virtual seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative sleep duration: {duration}")
+        self.duration = float(duration)
+
+    def __await__(self):
+        yield self
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sleep({self.duration:g})"
+
+
+class SimFuture:
+    """A one-shot result cell resolved at a specific virtual time.
+
+    Unlike :class:`asyncio.Future`, resolution carries a *time*: waiters are
+    resumed at ``max(resolution_time, now)``, which is how communication
+    latency is modelled — the producer resolves the future "in the future".
+    """
+
+    __slots__ = ("engine", "label", "_done", "_result", "_exception", "_time", "_waiters", "_callbacks")
+
+    def __init__(self, engine, label: str = ""):
+        self.engine = engine
+        self.label = label
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._time: float = 0.0
+        self._waiters: list = []  # Tasks blocked on this future
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def resolution_time(self) -> float:
+        if not self._done:
+            raise RuntimeError("future not resolved")
+        return self._time
+
+    def result(self) -> Any:
+        if not self._done:
+            raise RuntimeError("future not resolved")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise RuntimeError("future not resolved")
+        return self._exception
+
+    # -- resolution -------------------------------------------------------
+    def set_result(self, value: Any = None, at: Optional[float] = None) -> None:
+        self._resolve(value, None, at)
+
+    def set_exception(self, exc: BaseException, at: Optional[float] = None) -> None:
+        self._resolve(None, exc, at)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException], at: Optional[float]) -> None:
+        if self._done:
+            raise RuntimeError(f"future {self.label!r} already resolved")
+        self._done = True
+        self._result = value
+        self._exception = exc
+        self._time = self.engine.now if at is None else max(at, self.engine.now)
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.engine._wake_from_future(task, self)
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
+        """Run ``cb(self)`` when resolved (immediately if already done)."""
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def discard_waiter(self, task) -> None:
+        """Forget a blocked task (used when the task is killed)."""
+        try:
+            self._waiters.remove(task)
+        except ValueError:
+            pass
+
+    def __await__(self):
+        result = yield self
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else f"pending({len(self._waiters)} waiters)"
+        return f"SimFuture({self.label!r}, {state})"

@@ -1,0 +1,41 @@
+"""Serial combination of sub-grid solutions onto a target grid."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .interpolation import resample
+
+GridIx = Tuple[int, int]
+
+
+def combine_nodal(parts: Dict[GridIx, np.ndarray],
+                  coeffs: Dict[GridIx, float],
+                  target: GridIx) -> np.ndarray:
+    """``sum_k c_k P_target(u_k)`` — the sparse grid combination (Eq. 1).
+
+    ``parts`` maps grid index -> nodal values; every index with a non-zero
+    coefficient must be present.
+    """
+    out: Optional[np.ndarray] = None
+    for ix, c in coeffs.items():
+        if c == 0.0:
+            continue
+        if ix not in parts:
+            raise KeyError(f"combination needs grid {ix} but it is missing")
+        term = resample(parts[ix], ix, target)
+        out = c * term if out is None else out + c * term
+    if out is None:
+        raise ValueError("no non-zero coefficients")
+    return out
+
+
+def combination_interpolant(fn, coeffs: Dict[GridIx, float],
+                            target: GridIx) -> np.ndarray:
+    """Combination of *interpolants of a function* (used by tests: for
+    f in the union sparse-grid space the result is exact on target nodes)."""
+    from .interpolation import nodal_of
+    parts = {ix: nodal_of(fn, ix) for ix in coeffs}
+    return combine_nodal(parts, coeffs, target)

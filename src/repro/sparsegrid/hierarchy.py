@@ -1,0 +1,101 @@
+"""Hierarchical structure of the sparse grid: points, surpluses, sizes.
+
+The combination technique's correctness rests on the hierarchical
+decomposition of nodal spaces; this module exposes that structure directly
+— the union point set of a grid family, hierarchical surpluses, and point
+counts — and the tests use it to verify the classical identity that the
+combination of interpolants with downset coefficients *is* the sparse grid
+interpolant (exact on every union point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+GridIx = Tuple[int, int]
+
+
+def grid_points_1d(level: int) -> np.ndarray:
+    return np.arange((1 << level) + 1) / (1 << level)
+
+
+def union_points(indices: Iterable[GridIx]) -> List[Tuple[float, float]]:
+    """All nodal points of the union of the given anisotropic grids."""
+    pts: Set[Tuple[float, float]] = set()
+    for ix, iy in indices:
+        xs = grid_points_1d(ix)
+        ys = grid_points_1d(iy)
+        for x in xs:
+            for y in ys:
+                pts.add((float(x), float(y)))
+    return sorted(pts)
+
+
+def union_point_count(indices: Iterable[GridIx]) -> int:
+    return len(union_points(indices))
+
+
+def full_grid_point_count(n: int) -> int:
+    return ((1 << n) + 1) ** 2
+
+
+def hierarchical_surplus_1d(values: np.ndarray) -> np.ndarray:
+    """Hierarchical surpluses of 1D nodal data (levels 0..L along axis 0).
+
+    ``out[k]`` is the surplus of node k: nodal value minus the linear
+    interpolant of its hierarchical parents.  Level-0 nodes (the two
+    endpoints) keep their nodal values.
+    """
+    n = values.shape[0] - 1
+    if n == 0 or (n & (n - 1)):
+        raise ValueError("need 2^L + 1 nodal values")
+    level = n.bit_length() - 1
+    out = values.astype(float).copy()
+    # the hierarchical parents of a level-l node are its two neighbours on
+    # the level-(l-1) grid, so the surplus is the value minus their mean
+    for lev in range(1, level + 1):
+        stride = n // (1 << lev)
+        idx = np.arange(stride, n, 2 * stride)
+        out[idx] = values[idx] - 0.5 * (values[idx - stride] +
+                                        values[idx + stride])
+    return out
+
+
+def interpolate_bilinear(points_x: np.ndarray, points_y: np.ndarray,
+                         values: np.ndarray, x: float, y: float) -> float:
+    """Bilinear interpolation of nodal data at one point (reference
+    implementation used by tests; vectorised paths live in
+    :mod:`repro.sparsegrid.interpolation`)."""
+    ix = int(np.clip(np.searchsorted(points_x, x, "right") - 1, 0,
+                     len(points_x) - 2))
+    iy = int(np.clip(np.searchsorted(points_y, y, "right") - 1, 0,
+                     len(points_y) - 2))
+    x0, x1 = points_x[ix], points_x[ix + 1]
+    y0, y1 = points_y[iy], points_y[iy + 1]
+    tx = 0.0 if x1 == x0 else (x - x0) / (x1 - x0)
+    ty = 0.0 if y1 == y0 else (y - y0) / (y1 - y0)
+    return float(
+        (1 - tx) * (1 - ty) * values[ix, iy] +
+        tx * (1 - ty) * values[ix + 1, iy] +
+        (1 - tx) * ty * values[ix, iy + 1] +
+        tx * ty * values[ix + 1, iy + 1])
+
+
+def combination_at_points(parts: Dict[GridIx, np.ndarray],
+                          coeffs: Dict[GridIx, float],
+                          points: Iterable[Tuple[float, float]]
+                          ) -> np.ndarray:
+    """Evaluate the combination ``sum c_k I_k`` at arbitrary points."""
+    points = list(points)
+    out = np.zeros(len(points))
+    for ix, c in coeffs.items():
+        if c == 0.0:
+            continue
+        values = parts[ix]
+        px = grid_points_1d(ix[0])
+        py = grid_points_1d(ix[1])
+        for j, (x, y) in enumerate(points):
+            out[j] += c * interpolate_bilinear(px, py, values, x, y)
+    return out

@@ -1,0 +1,70 @@
+"""Resampling between anisotropic nodal grids.
+
+All grids are nodal tensor grids on [0,1]^2 with ``2^i + 1`` points per
+axis, so a coarser grid's nodes are a strict subset of any finer grid's
+nodes — restriction is exact stride sampling, and prolongation is bilinear
+interpolation with exact dyadic weights.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+GridIx = Tuple[int, int]
+
+
+def axis_points(level: int) -> np.ndarray:
+    n = 1 << level
+    return np.arange(n + 1) / n
+
+
+def _axis_resample_weights(from_level: int, to_level: int):
+    """(i0, i1, w) such that target[k] = (1-w)*src[i0] + w*src[i1]."""
+    n_to = (1 << to_level) + 1
+    if to_level <= from_level:
+        stride = 1 << (from_level - to_level)
+        idx = np.arange(n_to) * stride
+        return idx, idx, np.zeros(n_to)
+    # prolongation: position of target node k on the source axis
+    pos = np.arange(n_to) * (2.0 ** (from_level - to_level))
+    i0 = np.floor(pos).astype(np.intp)
+    n_from = 1 << from_level
+    i0 = np.minimum(i0, n_from - 1)
+    w = pos - i0
+    return i0, i0 + 1, w
+
+
+def resample(values: np.ndarray, from_ix: GridIx, to_ix: GridIx) -> np.ndarray:
+    """Nodal values on grid ``from_ix`` resampled onto grid ``to_ix``.
+
+    Exact (pure sampling) when ``to_ix <= from_ix`` component-wise; bilinear
+    otherwise.  This single routine implements both the RC technique's
+    restriction ("resampling a lower-resolution lost grid from the finer
+    grid above it") and the prolongation used by the combination itself.
+    """
+    fx, fy = from_ix
+    tx, ty = to_ix
+    if values.shape != ((1 << fx) + 1, (1 << fy) + 1):
+        raise ValueError(
+            f"values shape {values.shape} does not match index {from_ix}")
+    ix0, ix1, wx = _axis_resample_weights(fx, tx)
+    iy0, iy1, wy = _axis_resample_weights(fy, ty)
+    v00 = values[np.ix_(ix0, iy0)]
+    if not wx.any() and not wy.any():
+        return v00.copy()
+    v10 = values[np.ix_(ix1, iy0)]
+    v01 = values[np.ix_(ix0, iy1)]
+    v11 = values[np.ix_(ix1, iy1)]
+    wxc = wx[:, None]
+    wyc = wy[None, :]
+    return ((1 - wxc) * (1 - wyc) * v00 + wxc * (1 - wyc) * v10 +
+            (1 - wxc) * wyc * v01 + wxc * wyc * v11)
+
+
+def nodal_of(fn, ix: GridIx) -> np.ndarray:
+    """Sample a function f(x, y) on the nodal grid ``ix``."""
+    xs = axis_points(ix[0])
+    ys = axis_points(ix[1])
+    return fn(xs[:, None], ys[None, :])

@@ -1,0 +1,58 @@
+"""Run orchestration helpers."""
+
+import pytest
+
+from repro.core import (AppConfig, baseline_solve_time, choose_lost_grids,
+                        make_universe, plan_failures)
+from repro.machine.presets import IDEAL, OPL
+
+
+def test_make_universe_sizes_hostfile():
+    cfg = AppConfig(n=6, level=4, technique_code="RC", diag_procs=2)
+    uni, total = make_universe(cfg, OPL, n_spares=2)
+    assert total == cfg.layout().total_procs
+    regular = len(uni.hostfile.regular_hosts)
+    assert regular * OPL.cores_per_node >= total
+    assert len(uni.hostfile.spare_hosts) == 2
+
+
+def test_plan_failures_protects_rank0_and_pairs():
+    cfg = AppConfig(n=6, level=4, technique_code="RC", diag_procs=2)
+    layout = cfg.layout()
+    pairs = layout.conflict_pairs_ranks()
+    for seed in range(30):
+        kills = plan_failures(cfg, 3, at=1.0, seed=seed)
+        ranks = [k.rank for k in kills]
+        assert 0 not in ranks
+        grids = {layout.gid_of(r) for r in ranks}
+        for a, b in pairs:
+            assert not (a in grids and b in grids)
+        assert all(k.at == 1.0 for k in kills)
+
+
+def test_plan_failures_cr_unconstrained_pairs():
+    cfg = AppConfig(n=6, level=4, technique_code="CR", diag_procs=2)
+    kills = plan_failures(cfg, 2, at=0.5, seed=0)
+    assert len(kills) == 2
+
+
+def test_choose_lost_grids_respects_rc_conflicts():
+    cfg = AppConfig(n=6, level=4, technique_code="RC", diag_procs=2)
+    conflicts = cfg.scheme().rc_conflict_pairs()
+    for seed in range(30):
+        lost = choose_lost_grids(cfg, 3, seed=seed)
+        assert len(lost) == 3
+        for a, b in conflicts:
+            assert not (a in lost and b in lost)
+
+
+def test_choose_lost_grids_deterministic():
+    cfg = AppConfig(n=6, level=4, technique_code="AC", diag_procs=2)
+    assert choose_lost_grids(cfg, 2, seed=5) == \
+        choose_lost_grids(cfg, 2, seed=5)
+
+
+def test_baseline_solve_time_positive_on_real_machine():
+    cfg = AppConfig(n=6, level=4, technique_code="AC", diag_procs=2, steps=8)
+    assert baseline_solve_time(cfg, OPL) > 0
+    assert baseline_solve_time(cfg, IDEAL) == 0.0

@@ -1,0 +1,73 @@
+"""Serial reference pipeline, and its agreement with the MPI application."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.core.serial_app import run_serial, solve_scheme_grids
+from repro.machine.presets import IDEAL
+from repro.pde import AdvectionProblem
+from repro.sparsegrid import CombinationScheme
+
+
+def test_serial_baseline_reasonable():
+    r = run_serial(n=6, level=4, technique_code="CR", steps=16)
+    assert r.error_l1 < 1e-2
+    assert r.lost_gids == ()
+    assert sum(r.coefficients.values()) == pytest.approx(1.0)
+
+
+def test_solve_scheme_grids_shares_duplicates():
+    scheme = CombinationScheme(6, 4, duplicates=True)
+    data = solve_scheme_grids(scheme, AdvectionProblem(), 4, 1e-3)
+    for d in scheme.diagonal:
+        assert data[d.gid] is data[d.partner]
+
+
+@pytest.mark.parametrize("code,lost", [
+    ("CR", ()), ("RC", ()), ("AC", ()),
+    ("CR", (2,)), ("CR", (0, 3)),
+    ("RC", (1,)), ("RC", (4,)), ("RC", (7,)), ("RC", (4, 9)),
+    ("AC", (1,)), ("AC", (5,)), ("AC", (1, 3)), ("AC", (8,)),
+])
+def test_serial_matches_parallel_app(code, lost):
+    """The distributed app and the serial pipeline implement the same
+    mathematics: errors agree to rounding."""
+    serial = run_serial(n=6, level=4, technique_code=code, steps=16,
+                        lost_gids=lost)
+    cfg = AppConfig(n=6, level=4, technique_code=code, steps=16,
+                    diag_procs=2, checkpoint_count=4,
+                    simulated_lost_gids=tuple(lost))
+    parallel = run_app(cfg, IDEAL)
+    assert serial.error_l1 == pytest.approx(parallel.error_l1, rel=1e-10)
+    assert serial.error_linf == pytest.approx(parallel.error_linf, rel=1e-10)
+
+
+def test_serial_cr_exact_for_any_loss():
+    base = run_serial(n=6, level=4, technique_code="CR", steps=16)
+    for lost in [(1,), (0, 2, 4), (5, 6)]:
+        r = run_serial(n=6, level=4, technique_code="CR", steps=16,
+                       lost_gids=lost)
+        assert r.error_l1 == pytest.approx(base.error_l1, rel=1e-12)
+
+
+def test_serial_collect_arrays():
+    r = run_serial(n=6, level=4, technique_code="AC", steps=8,
+                   collect_arrays=True)
+    assert r.combined.shape == (65, 65)
+    r2 = run_serial(n=6, level=4, technique_code="AC", steps=8)
+    assert r2.combined is None
+
+
+def test_serial_custom_target_grid():
+    r = run_serial(n=6, level=4, technique_code="CR", steps=8,
+                   target=(5, 5), collect_arrays=True)
+    assert r.combined.shape == (33, 33)
+
+
+def test_serial_extra_layers_config():
+    r1 = run_serial(n=6, level=4, technique_code="AC", steps=8,
+                    extra_layers=1, lost_gids=(1,))
+    r2 = run_serial(n=6, level=4, technique_code="AC", steps=8,
+                    extra_layers=2, lost_gids=(1,))
+    assert np.isfinite(r1.error_l1) and np.isfinite(r2.error_l1)

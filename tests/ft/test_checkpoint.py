@@ -1,0 +1,130 @@
+"""Checkpoint/Restart machinery: Disk versioning, coordinated restore."""
+
+import numpy as np
+import pytest
+
+from repro.ft import (CheckpointStats, Disk, checkpoint_interval_steps,
+                      optimal_checkpoint_count, paper_eq2_checkpoint_count,
+                      restore_checkpoint, write_checkpoint)
+from repro.pde import AdvectionProblem, DistributedAdvectionSolver
+
+from ..conftest import run_ranks as run
+
+PROB = AdvectionProblem()
+
+
+def test_disk_versioned_by_step():
+    d = Disk()
+    for step in (4, 8, 12):
+        d.write(1, 0, {"u": np.zeros(2), "step_count": step,
+                       "level_x": 3, "level_y": 3})
+    assert d.available_steps(1, 0) == (4, 8, 12)
+    assert d.latest_step(1, 0) == 12
+    snap = d.read(1, 0, 8)
+    assert snap["step_count"] == 8
+    assert d.read(1, 0, 99) is None
+    assert d.latest_step(9, 9) is None
+
+
+def test_disk_history_bounded():
+    d = Disk()
+    for step in range(10):
+        d.write(0, 0, {"u": np.zeros(1), "step_count": step,
+                       "level_x": 1, "level_y": 1})
+    assert len(d.available_steps(0, 0)) == Disk.KEEP
+    assert d.latest_step(0, 0) == 9
+
+
+def test_disk_counters():
+    d = Disk()
+    d.write(0, 0, {"u": np.zeros(4), "step_count": 1,
+                   "level_x": 1, "level_y": 1})
+    d.read(0, 0, 1)
+    assert d.writes == 1 and d.reads == 1 and d.bytes_written == 32
+
+
+def test_optimal_checkpoint_count_young():
+    # interval = sqrt(2 * t_io * mtbf); count = run / interval
+    assert optimal_checkpoint_count(100.0, 2.0, mtbf=50.0) == \
+        round(100.0 / (2.0 * 50.0 * 2.0) ** 0.5)
+    assert optimal_checkpoint_count(10.0, 0.0) == 1
+    assert optimal_checkpoint_count(1e-9, 3.52) == 1   # never zero
+
+
+def test_optimal_count_scales_with_disk_speed():
+    fast = optimal_checkpoint_count(100.0, 0.03)
+    slow = optimal_checkpoint_count(100.0, 3.52)
+    assert fast > slow
+
+
+def test_paper_eq2_literal():
+    assert paper_eq2_checkpoint_count(35.2, 3.52) == 10
+    assert paper_eq2_checkpoint_count(1.0, 0.0) == 1
+    assert paper_eq2_checkpoint_count(0.5, 3.52) == 1
+
+
+def test_checkpoint_interval_steps():
+    assert checkpoint_interval_steps(100, 4) == 25
+    assert checkpoint_interval_steps(10, 0) == 10
+    assert checkpoint_interval_steps(7, 3) == 2
+
+
+def test_write_restore_roundtrip_charges_io(opl):
+    disk = Disk()
+
+    async def main(ctx):
+        stats = CheckpointStats()
+        sol = DistributedAdvectionSolver(ctx, ctx.comm, PROB, 4, 4,
+                                         PROB.stable_dt(4))
+        await sol.step(3)
+        await write_checkpoint(ctx, disk, 0, ctx.comm.rank, sol, stats)
+        saved = sol.u.copy()
+        await sol.step(3)
+        restored = await restore_checkpoint(ctx, disk, 0, ctx.comm, sol,
+                                            stats)
+        assert restored == 3
+        assert np.allclose(sol.u, saved)
+        assert stats.writes == 1
+        assert stats.write_time >= opl.t_io
+        assert stats.read_time > 0
+        return ctx.wtime()
+
+    res, _ = run(2, main, machine=opl)
+    assert res[0] >= opl.t_io
+
+
+def test_coordinated_restore_rolls_back_to_common_step():
+    """One member missed the last checkpoint round: the whole group must
+    restore the latest *common* step."""
+    disk = Disk()
+
+    async def main(ctx):
+        sol = DistributedAdvectionSolver(ctx, ctx.comm, PROB, 4, 4,
+                                         PROB.stable_dt(4))
+        await sol.step(4)
+        await write_checkpoint(ctx, disk, 0, ctx.comm.rank, sol)
+        await sol.step(4)
+        if ctx.rank == 0:  # rank 1 "died" before writing round 2
+            await write_checkpoint(ctx, disk, 0, ctx.comm.rank, sol)
+        restored = await restore_checkpoint(ctx, disk, 0, ctx.comm, sol)
+        return (restored, sol.step_count)
+
+    res, _ = run(2, main)
+    assert res == [(4, 4), (4, 4)]
+
+
+def test_restore_without_any_checkpoint_resets_to_initial():
+    disk = Disk()
+
+    async def main(ctx):
+        sol = DistributedAdvectionSolver(ctx, ctx.comm, PROB, 4, 4,
+                                         PROB.stable_dt(4))
+        u0 = sol.u.copy()
+        await sol.step(5)
+        restored = await restore_checkpoint(ctx, disk, 0, ctx.comm, sol)
+        assert restored == 0
+        assert np.allclose(sol.u, u0)
+        return sol.step_count
+
+    res, _ = run(2, main)
+    assert res == [0, 0]

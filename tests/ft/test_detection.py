@@ -1,0 +1,68 @@
+"""Failure detection and identification (Figs. 4, 6)."""
+
+import pytest
+
+from repro.ft import failed_procs_list, make_error_handler
+from repro.mpi import MPIError, ProcFailedError
+
+from ..conftest import run_ranks as run
+
+
+def test_failed_procs_list_identifies_kills():
+    async def main(ctx):
+        await ctx.compute(1.0)
+        try:
+            await ctx.comm.barrier()
+        except ProcFailedError:
+            pass
+        ctx.comm.revoke()
+        shrunk = await ctx.comm.shrink()
+        return failed_procs_list(ctx.comm, shrunk)
+
+    res, _ = run(6, main, kills=[(2, 0.5), (4, 0.5)],
+                 raise_task_failures=False)
+    assert res[0] == ([2, 4], 2)
+    assert res[1] == ([2, 4], 2)
+
+
+def test_failed_procs_list_empty_when_identical():
+    async def main(ctx):
+        shrunk = await ctx.comm.shrink()
+        return failed_procs_list(ctx.comm, shrunk)
+
+    res, _ = run(3, main)
+    assert res[0] == ([], 0)
+
+
+def test_error_handler_acks_failures():
+    seen = []
+
+    async def main(ctx):
+        handler = make_error_handler(
+            lambda comm, group, exc: seen.append((ctx.rank, group.size)))
+        ctx.comm.set_errhandler(handler)
+        await ctx.compute(1.0)
+        try:
+            await ctx.comm.barrier()
+        except MPIError:
+            pass
+        # the handler ran failure_ack: the acked group is queryable now
+        return ctx.comm.failure_get_acked().size
+
+    res, _ = run(3, main, kills=[(1, 0.5)], raise_task_failures=False)
+    assert res[0] == 1 and res[2] == 1
+    assert (0, 1) in seen and (2, 1) in seen
+
+
+def test_error_handler_without_sink():
+    async def main(ctx):
+        ctx.comm.set_errhandler(make_error_handler())
+        await ctx.compute(1.0)
+        try:
+            await ctx.comm.barrier()
+        except MPIError:
+            return "handled"
+        return "ok"
+
+    res, _ = run(2, main, kills=[(1, 0.5)], raise_task_failures=False)
+    assert res[0] == "handled"

@@ -1,0 +1,79 @@
+"""Failure generator constraints (Sec. III)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ft import FailureGenerator, Kill
+
+
+def test_rank0_never_chosen():
+    gen = FailureGenerator(seed=1)
+    for _ in range(50):
+        victims = gen.choose_victims(8, 3)
+        assert 0 not in victims
+
+
+def test_victims_distinct_and_sorted():
+    gen = FailureGenerator(seed=2)
+    v = gen.choose_victims(20, 5)
+    assert v == sorted(set(v))
+    assert len(v) == 5
+
+
+def test_conflict_pairs_respected_at_grid_level():
+    # ranks 1,2 -> grid A(=1); ranks 3,4 -> grid B(=2); A and B conflict
+    gen = FailureGenerator(seed=3, conflict_pairs=[(1, 2)],
+                           rank_to_grid=lambda r: 1 if r in (1, 2) else 2)
+    for _ in range(100):
+        victims = gen.choose_victims(5, 2)
+        grids = {1 if r in (1, 2) else 2 for r in victims}
+        assert grids != {1, 2}
+
+
+def test_impossible_constraints_raise():
+    gen = FailureGenerator(seed=0, conflict_pairs=[(1, 2)],
+                           rank_to_grid=lambda r: 1 if r == 1 else 2)
+    # only ranks 1 and 2 exist (besides protected 0): any pair violates
+    with pytest.raises(RuntimeError):
+        gen.choose_victims(3, 2, max_tries=50)
+
+
+def test_too_many_failures_rejected():
+    gen = FailureGenerator()
+    with pytest.raises(ValueError):
+        gen.choose_victims(3, 3)  # only ranks 1, 2 are killable
+
+
+def test_plan_produces_simultaneous_kills():
+    gen = FailureGenerator(seed=5)
+    kills = gen.plan(10, 3, at=7.5)
+    assert len(kills) == 3
+    assert all(isinstance(k, Kill) and k.at == 7.5 for k in kills)
+
+
+def test_deterministic_given_seed():
+    assert FailureGenerator(seed=9).choose_victims(30, 4) == \
+        FailureGenerator(seed=9).choose_victims(30, 4)
+    # different seeds eventually differ
+    draws = {tuple(FailureGenerator(seed=s).choose_victims(30, 4))
+             for s in range(10)}
+    assert len(draws) > 1
+
+
+def test_custom_protected_set():
+    gen = FailureGenerator(seed=1, protect={0, 1, 2})
+    for _ in range(20):
+        assert not set(gen.choose_victims(6, 2)) & {0, 1, 2}
+
+
+@given(st.integers(0, 1000), st.integers(1, 5))
+@settings(max_examples=50)
+def test_constraints_hold_for_any_seed(seed, n_failures):
+    pairs = [(0, 1), (2, 3)]
+    gen = FailureGenerator(seed, conflict_pairs=pairs,
+                           rank_to_grid=lambda r: r // 3)
+    victims = gen.choose_victims(16, n_failures)
+    assert 0 not in victims
+    grids = {r // 3 for r in victims}
+    for a, b in pairs:
+        assert not (a in grids and b in grids)

@@ -1,0 +1,62 @@
+"""File-backed checkpoint storage."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.ft import Disk, FileDisk
+from repro.ft.failure_injection import Kill
+from repro.machine.presets import OPL
+
+
+def snap(step, shape=(4, 4)):
+    return {"u": np.full(shape, float(step)), "step_count": step,
+            "level_x": 2, "level_y": 2}
+
+
+def test_write_read_roundtrip(tmp_path):
+    disk = FileDisk(tmp_path)
+    disk.write(1, 0, snap(8))
+    back = disk.read(1, 0, 8)
+    assert back["step_count"] == 8
+    assert back["level_x"] == 2 and back["level_y"] == 2
+    assert np.allclose(back["u"], 8.0)
+    assert len(list(tmp_path.glob("*.npz"))) == 1
+
+
+def test_missing_checkpoint_returns_none(tmp_path):
+    disk = FileDisk(tmp_path)
+    assert disk.read(0, 0, 5) is None
+
+
+def test_history_pruned_on_disk(tmp_path):
+    disk = FileDisk(tmp_path)
+    for step in range(6):
+        disk.write(0, 0, snap(step))
+    files = sorted(tmp_path.glob("ckpt_g0_r0_*.npz"))
+    assert len(files) == Disk.KEEP
+    assert disk.available_steps(0, 0) == (3, 4, 5)
+    assert disk.read(0, 0, 0) is None
+    assert disk.read(0, 0, 5)["step_count"] == 5
+
+
+def test_separate_keys_separate_files(tmp_path):
+    disk = FileDisk(tmp_path)
+    disk.write(0, 0, snap(4))
+    disk.write(0, 1, snap(4))
+    disk.write(2, 0, snap(4))
+    assert len(list(tmp_path.glob("*.npz"))) == 3
+
+
+def test_app_runs_with_file_disk(tmp_path):
+    """Full CR run — including a real failure and restart — against the
+    filesystem backend."""
+    disk = FileDisk(tmp_path / "ckpts")
+    base = run_app(AppConfig(n=6, level=4, technique_code="CR", steps=16,
+                             diag_procs=2, checkpoint_count=4,
+                             disk=FileDisk(tmp_path / "base")), OPL)
+    cfg = AppConfig(n=6, level=4, technique_code="CR", steps=16,
+                    diag_procs=2, checkpoint_count=4, disk=disk)
+    m = run_app(cfg, OPL, kills=[Kill(7, base.t_solve * 0.6)])
+    assert m.error_l1 == pytest.approx(base.error_l1, rel=1e-12)
+    assert list((tmp_path / "ckpts").glob("*.npz"))  # real files written

@@ -1,0 +1,54 @@
+"""Poisson (MTBF-driven) failure plans."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ft import FailureGenerator
+
+
+def test_poisson_plan_respects_horizon_and_protection():
+    gen = FailureGenerator(seed=1)
+    kills = gen.poisson_plan(world_size=32, mtbf=1.0, horizon=10.0)
+    assert all(0 < k.at < 10.0 for k in kills)
+    assert all(k.rank != 0 for k in kills)
+    times = [k.at for k in kills]
+    assert times == sorted(times)
+
+
+def test_poisson_plan_rate_scales():
+    gen_fast = FailureGenerator(seed=2)
+    gen_slow = FailureGenerator(seed=2)
+    many = gen_fast.poisson_plan(64, mtbf=0.5, horizon=20.0)
+    few = gen_slow.poisson_plan(64, mtbf=5.0, horizon=20.0)
+    assert len(many) > len(few)
+
+
+def test_poisson_plan_max_failures_cap():
+    gen = FailureGenerator(seed=3)
+    kills = gen.poisson_plan(64, mtbf=0.01, horizon=100.0, max_failures=5)
+    assert len(kills) == 5
+
+
+def test_poisson_plan_victims_distinct():
+    gen = FailureGenerator(seed=4)
+    kills = gen.poisson_plan(16, mtbf=0.01, horizon=100.0)
+    ranks = [k.rank for k in kills]
+    assert len(ranks) == len(set(ranks))
+    assert len(ranks) <= 15  # world minus protected rank 0
+
+
+def test_poisson_plan_deterministic():
+    a = FailureGenerator(seed=7).poisson_plan(32, 1.0, 5.0)
+    b = FailureGenerator(seed=7).poisson_plan(32, 1.0, 5.0)
+    assert a == b
+
+
+@given(st.integers(0, 100))
+@settings(max_examples=30)
+def test_poisson_constraints_hold(seed):
+    gen = FailureGenerator(seed, conflict_pairs=[(0, 1)],
+                           rank_to_grid=lambda r: r // 4)
+    kills = gen.poisson_plan(16, mtbf=0.2, horizon=5.0)
+    grids = {k.rank // 4 for k in kills}
+    assert not ({0, 1} <= grids)
+    assert all(k.rank != 0 for k in kills)

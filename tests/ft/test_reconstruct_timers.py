@@ -1,0 +1,17 @@
+"""ReconstructTimers accumulation semantics."""
+
+from repro.ft.reconstruct import ReconstructTimers
+
+
+def test_defaults():
+    t = ReconstructTimers()
+    assert t.failed_list == 0.0 and t.reconstruct == 0.0
+    assert t.failed_ranks == []
+    assert t.iterations == 0
+
+
+def test_independent_instances():
+    a = ReconstructTimers()
+    b = ReconstructTimers()
+    a.failed_ranks.append(1)
+    assert b.failed_ranks == []  # no shared mutable default

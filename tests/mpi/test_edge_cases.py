@@ -1,0 +1,187 @@
+"""MPI edge cases: revocation races, intercomm failures, empty payloads."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (ANY_SOURCE, MPIError, ProcFailedError, RevokedError,
+                       Universe)
+from repro.machine.presets import IDEAL, OPL
+
+from ..conftest import run_ranks as run
+
+
+def test_zero_size_and_none_payloads():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(np.zeros(0), dest=1, tag=1)
+            await ctx.comm.send(None, dest=1, tag=2)
+            await ctx.comm.send(b"", dest=1, tag=3)
+        else:
+            a = await ctx.comm.recv(source=0, tag=1)
+            b = await ctx.comm.recv(source=0, tag=2)
+            c = await ctx.comm.recv(source=0, tag=3)
+            return (a.size, b, c)
+        return None
+
+    res, _ = run(2, main)
+    assert res[1] == (0, None, b"")
+
+
+def test_send_during_revocation_window(opl):
+    """A send sleeping through its injection cost observes a revocation
+    that lands mid-flight."""
+    async def main(ctx):
+        if ctx.rank == 0:
+            big = np.zeros(10_000_000)  # injection takes ~25 ms on OPL
+            with pytest.raises(RevokedError):
+                await ctx.comm.send(big, dest=1)
+            return "saw-revoke"
+        ctx.comm.revoke()
+        return "revoked"
+
+    res, _ = run(2, main, machine=opl)
+    assert res[0] == "saw-revoke"
+
+
+def test_intercomm_revoke():
+    async def child(ctx):
+        parent = ctx.get_parent()
+        parent.revoke()
+        return "child-done"
+
+    async def main(ctx):
+        inter = await ctx.comm.spawn_multiple(1, child)
+        await ctx.compute(1.0)
+        with pytest.raises(RevokedError):
+            await inter.recv(source=0)
+        return "ok"
+
+    res, uni = run(1, main)
+    assert res == ["ok"]
+    assert uni.jobs[1].results() == ["child-done"]
+
+
+def test_intercomm_recv_from_dead_child():
+    async def child(ctx):
+        await ctx.compute(10.0)
+        return None
+
+    async def main(ctx):
+        inter = await ctx.comm.spawn_multiple(1, child)
+        await ctx.compute(2.0)  # child killed at t=1
+        with pytest.raises(ProcFailedError):
+            await inter.recv(source=0)
+        return "ok"
+
+    uni = Universe(IDEAL)
+    job = uni.launch(1, main)
+
+    def kill_child():
+        uni.kill_proc(uni.jobs[1].procs[0])
+
+    uni.engine.call_at(1.0, kill_child)
+    uni.run(raise_task_failures=False)
+    assert job.results() == ["ok"]
+
+
+def test_intercomm_pending_recv_fails_when_peer_dies():
+    async def child(ctx):
+        await ctx.compute(10.0)
+        return None
+
+    async def main(ctx):
+        inter = await ctx.comm.spawn_multiple(1, child)
+        with pytest.raises(ProcFailedError):
+            await inter.recv(source=0)  # blocks; child dies at t=1
+        return ctx.wtime()
+
+    uni = Universe(IDEAL)
+    job = uni.launch(1, main)
+    uni.engine.call_at(1.0, lambda: uni.kill_proc(uni.jobs[1].procs[0]))
+    uni.run(raise_task_failures=False)
+    assert job.results()[0] >= 1.0
+
+
+def test_any_source_recv_still_served_after_unrelated_death():
+    """An ANY_SOURCE receive is not failed by a death as long as another
+    sender delivers."""
+    async def main(ctx):
+        if ctx.rank == 0:
+            msg = await ctx.comm.recv(source=ANY_SOURCE, tag=5)
+            return msg
+        if ctx.rank == 1:
+            await ctx.compute(2.0)
+            await ctx.comm.send("late", dest=0, tag=5)
+        return None
+
+    # rank 2 dies while rank 0 waits; rank 1 still delivers
+    res, _ = run(3, main, kills=[(2, 1.0)], raise_task_failures=False)
+    assert res[0] == "late"
+
+
+def test_agree_survivor_completion_when_arrived_member_dies():
+    """A rank that arrives at agree and then dies must not block it."""
+    async def main(ctx):
+        if ctx.rank == 2:
+            # arrives immediately, killed at t=1 while others compute
+            return await ctx.comm.agree(1)
+        await ctx.compute(2.0)
+        return await ctx.comm.agree(1)
+
+    res, _ = run(3, main, kills=[(2, 1.0)], raise_task_failures=False)
+    assert res[0] == 1 and res[1] == 1
+
+
+def test_shrink_of_fully_healthy_comm_is_identity_membership():
+    async def main(ctx):
+        shrunk = await ctx.comm.shrink()
+        from repro.mpi import IDENT
+        return ctx.comm.group.compare(shrunk.group)
+
+    res, _ = run(4, main)
+    from repro.mpi import IDENT
+    assert all(r == IDENT for r in res)
+
+
+def test_split_after_deaths_excludes_dead():
+    async def main(ctx):
+        await ctx.compute(1.0)
+        try:
+            await ctx.comm.barrier()
+        except MPIError:
+            pass
+        ctx.comm.revoke()
+        shrunk = await ctx.comm.shrink()
+        sub = await shrunk.split(shrunk.rank % 2, shrunk.rank)
+        return (shrunk.rank, sub.size)
+
+    res, _ = run(5, main, kills=[(2, 0.5)], raise_task_failures=False)
+    # survivors: old ranks 0,1,3,4 -> shrunk 0..3 -> parity split 2+2
+    alive = [r for r in res if r is not None]
+    assert sorted(alive) == [(0, 2), (1, 2), (2, 2), (3, 2)]
+
+
+def test_message_to_dead_then_revive_via_spawn_is_new_process():
+    """A replacement is a distinct process: messages addressed to the dead
+    rank before repair are not delivered to the replacement."""
+    async def child(ctx):
+        await ctx.get_parent().merge(high=True)
+        return "fresh"
+
+    # 3 ranks: rank 2 sends to rank 1, rank 1 dies; 0 and 2 recover
+    async def entry(ctx):
+        if ctx.rank == 1:
+            await ctx.compute(10.0)
+            return None
+        if ctx.rank == 2:
+            await ctx.comm.send("ghost", dest=1, tag=1)
+        await ctx.compute(1.0)
+        ctx.comm.revoke()
+        shrunk = await ctx.comm.shrink()
+        inter = await shrunk.spawn_multiple(1, child)
+        merged = await inter.merge(high=False)
+        assert merged.iprobe(tag=1) is None
+        return "ok"
+
+    res, _ = run(3, entry, kills=[(1, 0.5)], raise_task_failures=False)
+    assert res[0] == "ok" and res[2] == "ok"

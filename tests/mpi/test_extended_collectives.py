@@ -1,0 +1,145 @@
+"""Extended collective/point-to-point API: scan, exscan, reduce_scatter,
+gatherv/scatterv, probe, waitall/waitany."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, SUM, RankError, waitall, waitany
+
+from ..conftest import run_ranks as run
+
+
+def test_scan_inclusive_prefix():
+    async def main(ctx):
+        return await ctx.comm.scan(ctx.rank + 1)
+
+    res, _ = run(4, main)
+    assert res == [1, 3, 6, 10]
+
+
+def test_scan_with_max():
+    async def main(ctx):
+        vals = [3, 1, 4, 1, 5]
+        return await ctx.comm.scan(vals[ctx.rank], op=MAX)
+
+    res, _ = run(5, main)
+    assert res == [3, 3, 4, 4, 5]
+
+
+def test_exscan_exclusive_prefix():
+    async def main(ctx):
+        return await ctx.comm.exscan(ctx.rank + 1)
+
+    res, _ = run(4, main)
+    assert res == [None, 1, 3, 6]
+
+
+def test_scan_numpy_payloads():
+    async def main(ctx):
+        v = np.full(2, float(ctx.rank + 1))
+        out = await ctx.comm.scan(v, op=SUM)
+        return out.tolist()
+
+    res, _ = run(3, main)
+    assert res == [[1, 1], [3, 3], [6, 6]]
+
+
+def test_reduce_scatter_block():
+    async def main(ctx):
+        # rank r contributes [r*10+0, r*10+1, r*10+2]
+        objs = [ctx.rank * 10 + i for i in range(ctx.size)]
+        return await ctx.comm.reduce_scatter_block(objs)
+
+    res, _ = run(3, main)
+    # slot i = sum over ranks of (rank*10 + i)
+    assert res == [30, 33, 36]
+
+
+def test_reduce_scatter_wrong_length():
+    async def main(ctx):
+        with pytest.raises(RankError):
+            await ctx.comm.reduce_scatter_block([1])
+        return True
+
+    res, _ = run(3, main)
+    assert all(res)
+
+
+def test_gatherv_scatterv_variable_sizes():
+    async def main(ctx):
+        mine = np.arange(ctx.rank + 1)  # different size per rank
+        parts = await ctx.comm.gatherv(mine, root=0)
+        if ctx.rank == 0:
+            assert [len(p) for p in parts] == [1, 2, 3]
+            back = await ctx.comm.scatterv(parts, root=0)
+        else:
+            back = await ctx.comm.scatterv(None, root=0)
+        return len(back)
+
+    res, _ = run(3, main)
+    assert res == [1, 2, 3]
+
+
+def test_iprobe_sees_arrived_message_without_consuming():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send("ping", dest=1, tag=9)
+            await ctx.comm.barrier()
+            return None
+        assert ctx.comm.iprobe(tag=4) is None
+        await ctx.comm.barrier()
+        status = ctx.comm.iprobe()
+        assert status is not None and status.source == 0 and status.tag == 9
+        # probing again still sees it (not consumed)
+        assert ctx.comm.iprobe(source=0, tag=9) is not None
+        msg = await ctx.comm.recv(source=0, tag=9)
+        assert ctx.comm.iprobe() is None
+        return msg
+
+    res, _ = run(2, main)
+    assert res[1] == "ping"
+
+
+def test_waitall_collects_in_order():
+    async def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.isend(i * i, dest=1, tag=i) for i in range(4)]
+            await waitall(reqs)
+            return None
+        reqs = [ctx.comm.irecv(source=0, tag=i) for i in range(4)]
+        return await waitall(reqs)
+
+    res, _ = run(2, main)
+    assert res[1] == [0, 1, 4, 9]
+
+
+def test_waitany_prefers_completed():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send("a", dest=1, tag=1)
+            await ctx.comm.send("ready", dest=1, tag=98)
+            # only send "b" once rank 1 confirms its waitany finished
+            await ctx.comm.recv(source=1, tag=99)
+            await ctx.comm.send("b", dest=1, tag=2)
+            return None
+        r1 = ctx.comm.irecv(source=0, tag=2)   # completes late
+        r2 = ctx.comm.irecv(source=0, tag=1)   # completes first
+        await ctx.comm.recv(source=0, tag=98)  # "a" has certainly arrived
+        idx, value = await waitany([r1, r2])
+        assert (idx, value) == (1, "a")
+        await ctx.comm.send(None, dest=0, tag=99)
+        await r1.wait()
+        return value
+
+    res, _ = run(2, main)
+    assert res[1] == "a"
+
+
+def test_waitany_empty_rejected():
+    async def main(ctx):
+        with pytest.raises(ValueError):
+            await waitany([])
+        return True
+
+    res, _ = run(1, main)
+    assert res == [True]

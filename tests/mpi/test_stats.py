@@ -1,0 +1,65 @@
+"""Communication statistics counters."""
+
+import numpy as np
+
+from repro.mpi.stats import CommStats
+
+from ..conftest import run_ranks as run
+
+
+def test_message_counters():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(np.zeros(10), dest=1)
+        elif ctx.rank == 1:
+            await ctx.comm.recv(source=0)
+        return None
+
+    _, uni = run(2, main)
+    assert uni.stats.messages == 1
+    assert uni.stats.bytes_sent == 80
+
+
+def test_collective_counters():
+    async def main(ctx):
+        await ctx.comm.barrier()
+        await ctx.comm.allreduce(1)
+        await ctx.comm.bcast("x" if ctx.rank == 0 else None)
+        return None
+
+    _, uni = run(3, main)
+    assert uni.stats.collectives["barrier"] == 3
+    assert uni.stats.collectives["allreduce"] == 3
+    assert uni.stats.collectives["bcast"] == 3
+
+
+def test_comm_creation_and_kill_counters():
+    async def main(ctx):
+        await ctx.comm.split(ctx.rank % 2, ctx.rank)
+        await ctx.compute(2.0)
+        return None
+
+    _, uni = run(4, main, kills=[(3, 1.0)], raise_task_failures=False)
+    assert uni.stats.comms_created >= 3   # world + two split colors
+    assert uni.stats.kills == 1
+
+
+def test_spawn_counters():
+    async def child(ctx):
+        return None
+
+    async def main(ctx):
+        await ctx.comm.spawn_multiple(2, child)
+        return None
+
+    _, uni = run(2, main)
+    assert uni.stats.spawns == 1
+    assert uni.stats.procs_spawned == 2
+
+
+def test_summary_format():
+    s = CommStats()
+    s.record_message(100)
+    s.record_collective("barrier")
+    text = s.summary()
+    assert "messages=1" in text and "barrier:1" in text

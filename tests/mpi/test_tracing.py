@@ -1,0 +1,89 @@
+"""MPI event tracing."""
+
+from repro.mpi.tracing import TraceEvent, Tracer
+
+from ..conftest import run_ranks as run
+
+
+def traced_run(n, entry, **kw):
+    from repro.mpi.universe import Universe
+    from repro.machine.presets import IDEAL
+    uni = Universe(IDEAL)
+    uni.tracer = Tracer()
+    job = uni.launch(n, entry)
+    for rank, at in kw.get("kills", ()):
+        uni.kill_rank(job, rank, at=at)
+    uni.run(raise_task_failures=False)
+    return job, uni
+
+
+def test_messages_and_collectives_traced():
+    async def main(ctx):
+        await ctx.comm.barrier()
+        if ctx.rank == 0:
+            await ctx.comm.send("x", dest=1, tag=3)
+        elif ctx.rank == 1:
+            await ctx.comm.recv(source=0, tag=3)
+        return None
+
+    job, uni = traced_run(2, main)
+    t = uni.tracer
+    assert len(t.filter(kind="coll")) == 2      # two barrier calls
+    sends = t.filter(kind="send")
+    assert len(sends) == 1
+    assert "0->1 tag=3" in sends[0].detail
+
+
+def test_kill_and_spawn_traced():
+    async def child(ctx):
+        return None
+
+    async def main(ctx):
+        await ctx.compute(1.0)
+        if ctx.rank == 0:
+            await (await ctx.comm.shrink()).spawn_multiple(1, child)
+        return None
+
+    # kill rank 1 so shrink has something to do
+    job, uni = traced_run(2, main, kills=[(1, 0.5)])
+    kinds = {e.kind for e in uni.tracer.events}
+    assert "kill" in kinds and "spawn" in kinds
+
+
+def test_histogram_and_timeline():
+    async def main(ctx):
+        await ctx.comm.barrier()
+        await ctx.comm.allreduce(1)
+        return None
+
+    job, uni = traced_run(3, main)
+    hist = uni.tracer.histogram()
+    assert hist[("coll", "barrier")] == 3
+    assert hist[("coll", "allreduce")] == 3
+    text = uni.tracer.timeline(limit=4)
+    assert "barrier" in text
+    assert "more)" in text  # truncated beyond the limit
+
+
+def test_tracer_bounded():
+    t = Tracer(max_events=2)
+    for i in range(5):
+        t.record(float(i), "a", "send", "x")
+    assert len(t) == 2
+    assert t.dropped == 3
+    assert "(3 more)" in t.timeline() or "more" in t.timeline()
+
+
+def test_tracing_off_by_default_no_overhead():
+    async def main(ctx):
+        await ctx.comm.barrier()
+        return None
+
+    from ..conftest import run_ranks
+    _, uni = run_ranks(2, main)
+    assert uni.tracer is None
+
+
+def test_event_str():
+    e = TraceEvent(1.5, "proc", "send", "detail")
+    assert "send" in str(e) and "proc" in str(e)

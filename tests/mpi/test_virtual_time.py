@@ -1,0 +1,100 @@
+"""Virtual-time accounting of MPI operations."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineSpec, ZERO_ULFM
+
+from ..conftest import run_ranks as run
+
+SIMPLE = MachineSpec("simple", 100, alpha=1e-3, beta=1e-6, flop_rate=1e6,
+                     t_io=0.5, disk_bandwidth=1e9, ulfm=ZERO_ULFM,
+                     failure_detection_latency=1e-4)
+
+
+def test_p2p_message_charges_alpha_beta():
+    async def main(ctx):
+        if ctx.rank == 0:
+            payload = np.zeros(1000)  # 8000 B
+            await ctx.comm.send(payload, dest=1)
+            return ctx.wtime()
+        await ctx.comm.recv(source=0)
+        return ctx.wtime()
+
+    res, _ = run(2, main, machine=SIMPLE)
+    cost = 1e-3 + 8000 * 1e-6
+    assert res[0] == pytest.approx(cost)      # sender: injection time
+    assert res[1] == pytest.approx(cost)      # arrival at send_time+cost
+
+
+def test_receiver_waits_for_late_sender():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.compute(2.0)
+            await ctx.comm.send("x", dest=1)
+        else:
+            await ctx.comm.recv(source=0)
+            return ctx.wtime()
+
+    res, _ = run(2, main, machine=SIMPLE)
+    assert res[1] >= 2.0
+
+
+def test_compute_flops_charge():
+    async def main(ctx):
+        await ctx.compute(flops=5e6)
+        return ctx.wtime()
+
+    res, _ = run(1, main, machine=SIMPLE)
+    assert res[0] == pytest.approx(5.0)
+
+
+def test_disk_costs_charged():
+    async def main(ctx):
+        await ctx.disk_write(0)
+        t1 = ctx.wtime()
+        await ctx.disk_read(0)
+        return (t1, ctx.wtime())
+
+    res, _ = run(1, main, machine=SIMPLE)
+    assert res[0][0] == pytest.approx(0.5)
+    assert res[0][1] == pytest.approx(0.5 + 0.25)
+
+
+def test_collective_completion_at_max_arrival_plus_cost():
+    async def main(ctx):
+        await ctx.compute(float(ctx.rank))
+        await ctx.comm.barrier()
+        return ctx.wtime()
+
+    res, _ = run(3, main, machine=SIMPLE)
+    expected = 2.0 + SIMPLE.barrier_cost(3)
+    assert all(r == pytest.approx(expected) for r in res)
+
+
+def test_ideal_machine_everything_free(ideal):
+    async def main(ctx):
+        await ctx.comm.barrier()
+        await ctx.comm.allreduce(np.zeros(10_000))
+        if ctx.rank == 0:
+            await ctx.comm.send(np.zeros(10_000), dest=1)
+        elif ctx.rank == 1:
+            await ctx.comm.recv(source=0)
+        await ctx.disk_write(10**9)
+        return ctx.wtime()
+
+    res, _ = run(2, main, machine=ideal)
+    assert res == [0.0, 0.0]
+
+
+def test_wtime_monotone_across_ops():
+    async def main(ctx):
+        times = [ctx.wtime()]
+        for _ in range(3):
+            await ctx.comm.barrier()
+            times.append(ctx.wtime())
+        assert times == sorted(times)
+        return True
+
+    res, _ = run(4, main, machine=SIMPLE)
+    assert all(res)

@@ -1,0 +1,60 @@
+"""Advection problem definition."""
+
+import numpy as np
+import pytest
+
+from repro.pde import AdvectionProblem, gaussian_hump, sinusoid
+
+
+def test_exact_solution_is_translation():
+    prob = AdvectionProblem(velocity=(1.0, 0.0))
+    xs = np.linspace(0, 1, 17)
+    u0 = prob.exact(xs, xs, 0.0)
+    # after exactly one period the solution returns
+    u1 = prob.exact(xs, xs, 1.0)
+    assert np.allclose(u0, u1, atol=1e-12)
+
+
+def test_exact_translation_half_period():
+    prob = AdvectionProblem(velocity=(1.0, 0.0),
+                            initial=lambda x, y: np.sin(2 * np.pi * x) + 0 * y)
+    xs = np.linspace(0, 1, 9)
+    u = prob.exact(xs, xs, 0.5)
+    expected = np.sin(2 * np.pi * (xs - 0.5))[:, None] + 0 * xs[None, :]
+    assert np.allclose(u, expected)
+
+
+def test_initial_on_tensor_grid():
+    prob = AdvectionProblem()
+    xs = np.linspace(0, 1, 5)
+    ys = np.linspace(0, 1, 9)
+    u = prob.initial_on(xs, ys)
+    assert u.shape == (5, 9)
+    assert np.allclose(u, sinusoid(xs[:, None], ys[None, :]))
+
+
+def test_sinusoid_periodic():
+    xs = np.array([0.0, 1.0])
+    assert np.allclose(sinusoid(xs[:, None], xs[None, :]), 0.0)
+
+
+def test_gaussian_hump_positive_and_periodicish():
+    xs = np.linspace(0, 1, 33)
+    u = gaussian_hump(xs[:, None], xs[None, :])
+    assert (u >= 0).all()
+    assert u.max() > 0.9
+    # periodisation: wrap edges agree
+    assert np.allclose(u[0, :], u[-1, :], atol=1e-8)
+
+
+def test_stable_dt_scales_with_level():
+    prob = AdvectionProblem(velocity=(1.0, 0.5))
+    dt8 = prob.stable_dt(8)
+    dt9 = prob.stable_dt(9)
+    assert dt9 == pytest.approx(dt8 / 2)
+    assert dt8 == pytest.approx(0.4 / 256 / 1.5)
+
+
+def test_stable_dt_zero_velocity():
+    prob = AdvectionProblem(velocity=(0.0, 0.0))
+    assert prob.stable_dt(4) == pytest.approx(0.4 / 16)

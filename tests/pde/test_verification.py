@@ -1,0 +1,42 @@
+"""Verification utilities and the solver's formal convergence order."""
+
+import pytest
+
+from repro.pde import AdvectionProblem
+from repro.pde.verification import (convergence_study, observed_orders,
+                                    richardson_error_estimate)
+
+
+def test_observed_orders_exact_powers():
+    errors = [1.0, 0.25, 0.0625]  # exactly 2nd order at ratio 2
+    orders = observed_orders(errors)
+    assert orders == pytest.approx([2.0, 2.0])
+
+
+def test_observed_orders_reject_nonpositive():
+    with pytest.raises(ValueError):
+        observed_orders([1.0, 0.0])
+
+
+def test_lax_wendroff_is_second_order():
+    prob = AdvectionProblem(velocity=(1.0, 0.5))
+    study = convergence_study(prob, levels=(4, 5, 6), t_end=0.1)
+    errors = [e for _lev, e in study]
+    orders = observed_orders(errors)
+    assert all(o > 1.8 for o in orders), orders
+
+
+def test_convergence_study_levels_recorded():
+    prob = AdvectionProblem()
+    study = convergence_study(prob, levels=(3, 4), t_end=0.05)
+    assert [lev for lev, _ in study] == [3, 4]
+    assert study[0][1] > study[1][1]
+
+
+def test_richardson_estimate():
+    # f(h) = L + C h^2: coarse at h, fine at h/2
+    L, C, h = 3.0, 4.0, 0.1
+    coarse = L + C * h * h
+    fine = L + C * (h / 2) ** 2
+    est = richardson_error_estimate(coarse, fine, order=2)
+    assert est == pytest.approx(abs(fine - L))

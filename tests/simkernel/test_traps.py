@@ -1,0 +1,92 @@
+"""SimFuture semantics."""
+
+import pytest
+
+from repro.simkernel import Engine, SimFuture, Sleep
+
+
+def test_future_basics():
+    eng = Engine()
+    fut = eng.create_future("f")
+    assert not fut.done
+    with pytest.raises(RuntimeError):
+        fut.result()
+    fut.set_result(5)
+    assert fut.done
+    assert fut.result() == 5
+    assert fut.exception() is None
+    assert fut.resolution_time == 0.0
+
+
+def test_double_resolution_rejected():
+    eng = Engine()
+    fut = eng.create_future()
+    fut.set_result(1)
+    with pytest.raises(RuntimeError, match="already resolved"):
+        fut.set_result(2)
+    with pytest.raises(RuntimeError, match="already resolved"):
+        fut.set_exception(ValueError())
+
+
+def test_resolution_time_clamped_to_now():
+    eng = Engine()
+
+    async def main():
+        await Sleep(10.0)
+        fut = eng.create_future()
+        fut.set_result(None, at=1.0)  # in the past -> clamped
+        assert fut.resolution_time == 10.0
+
+    eng.spawn(main())
+    eng.run()
+
+
+def test_done_callback_immediate_and_deferred():
+    eng = Engine()
+    seen = []
+    fut = eng.create_future()
+    fut.add_done_callback(lambda f: seen.append("deferred"))
+    fut.set_result(None)
+    fut.add_done_callback(lambda f: seen.append("immediate"))
+    assert seen == ["deferred", "immediate"]
+
+
+def test_exception_accessor():
+    eng = Engine()
+    fut = eng.create_future()
+    err = ValueError("x")
+    fut.set_exception(err)
+    assert fut.exception() is err
+    with pytest.raises(ValueError):
+        fut.result()
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine()
+    fut = eng.create_future()
+    woke = []
+
+    async def waiter(i):
+        await fut
+        woke.append(i)
+
+    for i in range(5):
+        eng.spawn(waiter(i))
+
+    async def setter():
+        await Sleep(1.0)
+        fut.set_result(None)
+
+    eng.spawn(setter())
+    eng.run()
+    assert sorted(woke) == [0, 1, 2, 3, 4]
+
+
+def test_discard_waiter_noop_when_absent():
+    eng = Engine()
+    fut = eng.create_future()
+
+    class FakeTask:
+        pass
+
+    fut.discard_waiter(FakeTask())  # must not raise

@@ -1,0 +1,120 @@
+"""Combination coefficients: classic bands, downsets, Möbius properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsegrid import (classic_coefficients, coefficient_support_ok,
+                              combination_interpolant, dominates, downset,
+                              downset_coefficients, is_downset,
+                              maximal_elements, meet, truncated_coefficients,
+                              axis_points)
+
+index_sets = st.sets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=8)
+
+
+def test_dominates_and_meet():
+    assert dominates((3, 4), (3, 4))
+    assert dominates((4, 4), (3, 2))
+    assert not dominates((4, 1), (3, 2))
+    assert meet((3, 5), (4, 2)) == (3, 2)
+
+
+def test_maximal_elements_sorted():
+    pts = [(1, 3), (3, 1), (2, 2), (1, 1), (0, 4)]
+    assert maximal_elements(pts) == [(0, 4), (1, 3), (2, 2), (3, 1)]
+
+
+def test_downset_generation():
+    ds = downset([(1, 2)])
+    assert ds == {(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)}
+    assert is_downset(ds)
+    assert not is_downset({(1, 1)})
+
+
+def test_downset_coefficients_single_index():
+    coeffs = downset_coefficients([(2, 3)])
+    assert coeffs == {(2, 3): 1.0}
+
+
+def test_downset_coefficients_classic_cross():
+    """Two crossing maxima: +1 each, -1 at their meet."""
+    coeffs = downset_coefficients([(2, 0), (0, 2)])
+    assert coeffs == {(2, 0): 1.0, (0, 2): 1.0, (0, 0): -1.0}
+
+
+def test_classic_coefficients_equal_eq1():
+    cc = classic_coefficients(8, 4)
+    diag = {(i, 13 - i) for i in range(5, 9)}
+    lower = {(i, 12 - i) for i in range(5, 8)}
+    assert {k for k, v in cc.items() if v == 1.0} == diag
+    assert {k for k, v in cc.items() if v == -1.0} == lower
+    assert set(cc) == diag | lower
+
+
+@pytest.mark.parametrize("n,l", [(4, 4), (6, 4), (8, 4), (9, 5), (10, 6)])
+def test_classic_coefficients_sum_to_one(n, l):
+    assert sum(classic_coefficients(n, l).values()) == pytest.approx(1.0)
+
+
+def test_truncated_rejects_below_floor():
+    with pytest.raises(ValueError):
+        truncated_coefficients([(1, 1)], floor=(2, 2))
+
+
+def test_coefficient_support_ok():
+    coeffs = {(1, 1): 1.0, (0, 0): 0.0}
+    assert coefficient_support_ok(coeffs, [(1, 1)])
+    assert not coefficient_support_ok({(1, 1): 1.0}, [(0, 0)])
+
+
+@given(index_sets)
+@settings(max_examples=60)
+def test_mobius_coefficients_sum_to_one(idx):
+    coeffs = downset_coefficients(idx)
+    assert sum(coeffs.values()) == pytest.approx(1.0)
+
+
+@given(index_sets)
+@settings(max_examples=60)
+def test_mobius_support_is_maxima_and_meets(idx):
+    coeffs = downset_coefficients(idx)
+    maxima = maximal_elements(idx)
+    allowed = set(maxima)
+    for a, b in zip(maxima, maxima[1:]):
+        allowed.add(meet(a, b))
+    assert set(coeffs) <= allowed
+    for m in maxima:
+        assert coeffs[m] == 1.0
+
+
+@given(index_sets)
+@settings(max_examples=30, deadline=None)
+def test_combination_reproduces_bilinear_functions(idx):
+    """For f in the span of bilinear hat functions on every grid (here a
+    global bilinear polynomial), the combination interpolant is exact."""
+    coeffs = downset_coefficients(idx)
+
+    def f(x, y):
+        return 1.5 - 2.0 * x + 0.75 * y + 3.0 * x * y
+
+    target = (6, 6)
+    result = combination_interpolant(f, coeffs, target)
+    xs = axis_points(6)
+    exact = f(xs[:, None], xs[None, :])
+    assert np.allclose(result, exact, atol=1e-12)
+
+
+def test_combination_exact_for_union_space_function():
+    """A function that is piecewise-bilinear on every participating grid
+    (kink at x=0.5, a node of all levels >= 1) is reproduced exactly."""
+    coeffs = downset_coefficients([(3, 1), (1, 3)])
+
+    def f(x, y):
+        return np.abs(x - 0.5) * (1.0 + 2.0 * y)
+
+    target = (4, 4)
+    result = combination_interpolant(f, coeffs, target)
+    xs = axis_points(4)
+    assert np.allclose(result, f(xs[:, None], xs[None, :]), atol=1e-12)

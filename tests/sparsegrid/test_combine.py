@@ -1,0 +1,112 @@
+"""Serial and parallel combination."""
+
+import numpy as np
+import pytest
+
+from repro.pde import AdvectionProblem, SerialAdvectionSolver, l1
+from repro.sparsegrid import (CombinationScheme, axis_points, combine_nodal,
+                              combine_on_root, nodal_of, scatter_samples)
+
+from ..conftest import run_ranks as run
+
+
+def classic_parts_and_coeffs(n=6, level=4, steps=8):
+    prob = AdvectionProblem()
+    scheme = CombinationScheme(n, level)
+    dt = prob.stable_dt(n)
+    parts, coeffs = {}, {}
+    for g in scheme.grids:
+        s = SerialAdvectionSolver(prob, g.level_x, g.level_y, dt)
+        s.step(steps)
+        parts[g.index] = s.nodal()
+        coeffs[g.index] = g.coeff
+    return prob, parts, coeffs, steps * dt
+
+
+def test_combination_beats_coarsest_grid():
+    prob, parts, coeffs, t = classic_parts_and_coeffs()
+    target = (6, 6)
+    combined = combine_nodal(parts, coeffs, target)
+    xs = axis_points(6)
+    exact = prob.exact(xs, xs, t)
+    err_comb = l1(combined, exact)
+    # each individual anisotropic grid is worse than the combination
+    worst = max(l1(np.asarray(
+        __import__("repro.sparsegrid", fromlist=["resample"]).resample(
+            parts[ix], ix, target)), exact) for ix in parts)
+    assert err_comb < worst
+
+
+def test_missing_grid_raises():
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    missing = next(iter(parts))
+    del parts[missing]
+    with pytest.raises(KeyError):
+        combine_nodal(parts, coeffs, (6, 6))
+
+
+def test_zero_coefficient_grid_not_needed():
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    some = next(iter(parts))
+    coeffs[some] = 0.0
+    del parts[some]
+    combine_nodal(parts, coeffs, (6, 6))  # must not raise
+
+
+def test_all_zero_coefficients_rejected():
+    with pytest.raises(ValueError):
+        combine_nodal({}, {(1, 1): 0.0}, (2, 2))
+
+
+def test_combination_of_interpolants_exact_for_constant():
+    coeffs = {(2, 4): 1.0, (4, 2): 1.0, (2, 2): -1.0}
+    parts = {ix: np.full(((1 << ix[0]) + 1, (1 << ix[1]) + 1), 2.5)
+             for ix in coeffs}
+    out = combine_nodal(parts, coeffs, (5, 5))
+    assert np.allclose(out, 2.5)
+
+
+def test_parallel_combine_matches_serial():
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    serial = combine_nodal(parts, coeffs, (6, 6))
+    indices = sorted(parts)
+
+    async def main(ctx):
+        mine = {}
+        if ctx.rank < len(indices):
+            ix = indices[ctx.rank]
+            mine[ix] = parts[ix]
+        return await combine_on_root(ctx.comm, mine, coeffs, (6, 6), root=0)
+
+    res, _ = run(len(indices) + 2, main)
+    assert np.allclose(res[0], serial)
+    assert all(r is None for r in res[1:])
+
+
+def test_parallel_combine_duplicate_contributions_first_wins():
+    coeffs = {(2, 2): 1.0}
+    a = np.zeros((5, 5))
+    b = np.ones((5, 5))
+
+    async def main(ctx):
+        mine = {(2, 2): a} if ctx.rank == 0 else {(2, 2): b}
+        return await combine_on_root(ctx.comm, mine, coeffs, (2, 2), root=0)
+
+    res, _ = run(2, main)
+    assert np.allclose(res[0], 0.0)
+
+
+def test_scatter_samples_delivers_requested_grids():
+    combined = nodal_of(lambda x, y: x + 2 * y, (4, 4))
+
+    async def main(ctx):
+        wanted = {1: (2, 2), 2: (3, 2)}
+        sample = await scatter_samples(
+            ctx.comm, combined if ctx.rank == 0 else None, (4, 4), wanted,
+            root=0)
+        return None if sample is None else sample.shape
+
+    res, _ = run(3, main)
+    assert res[0] is None
+    assert res[1] == (5, 5)
+    assert res[2] == (9, 5)

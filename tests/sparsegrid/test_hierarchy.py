@@ -1,0 +1,86 @@
+"""Hierarchical structure: the classical sparse-grid identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsegrid import downset_coefficients, nodal_of
+from repro.sparsegrid.hierarchy import (combination_at_points,
+                                        full_grid_point_count,
+                                        grid_points_1d,
+                                        hierarchical_surplus_1d,
+                                        interpolate_bilinear, union_points)
+
+index_sets = st.sets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=5)
+
+
+def f_smooth(x, y):
+    return np.sin(2 * np.pi * x) * np.cos(np.pi * y) + x * y
+
+
+def test_union_points_counts():
+    assert len(union_points([(1, 1)])) == 9
+    # (2,0) is 5x2 points, (0,2) is 2x5; they share the 4 corners
+    pts = union_points([(2, 0), (0, 2)])
+    assert len(pts) == 10 + 10 - 4
+    assert full_grid_point_count(2) == 25
+
+
+def test_union_sparse_vs_full_growth():
+    """The sparse union is far smaller than the full grid."""
+    diag = [(i, 6 - i) for i in range(7)]
+    assert len(union_points(diag)) < full_grid_point_count(6) / 4
+
+
+def test_hierarchical_surplus_linear_vanishes():
+    """Surpluses of a linear function vanish above level 0."""
+    xs = grid_points_1d(4)
+    values = 3.0 * xs + 1.0
+    s = hierarchical_surplus_1d(values)
+    assert np.allclose(s[1:-1], 0.0)
+    assert s[0] == values[0] and s[-1] == values[-1]
+
+
+def test_hierarchical_surplus_hat_function():
+    """The level-1 hat at x=0.5: surplus 1 there, 0 at finer nodes."""
+    xs = grid_points_1d(3)
+    values = np.maximum(0.0, 1.0 - 2.0 * np.abs(xs - 0.5))
+    s = hierarchical_surplus_1d(values)
+    mid = len(xs) // 2
+    assert s[mid] == pytest.approx(1.0)
+    fine = [i for i in range(1, len(xs) - 1) if i != mid and i % 2 == 1]
+    assert np.allclose(s[fine], 0.0)
+
+
+def test_surplus_rejects_bad_length():
+    with pytest.raises(ValueError):
+        hierarchical_surplus_1d(np.zeros(6))
+    with pytest.raises(ValueError):
+        hierarchical_surplus_1d(np.zeros(1))
+
+
+def test_interpolate_bilinear_reference():
+    xs = grid_points_1d(1)
+    ys = grid_points_1d(1)
+    vals = np.array([[0.0, 1.0, 2.0], [1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+    # f(x, y) = 2x + 2y on these nodes
+    assert interpolate_bilinear(xs, ys, vals, 0.25, 0.25) == pytest.approx(1.0)
+    assert interpolate_bilinear(xs, ys, vals, 1.0, 1.0) == pytest.approx(4.0)
+    assert interpolate_bilinear(xs, ys, vals, 0.0, 0.75) == pytest.approx(1.5)
+
+
+@given(index_sets)
+@settings(max_examples=25, deadline=None)
+def test_combination_exact_on_every_union_point(idx):
+    """THE classical identity: with downset (Möbius) coefficients, the
+    combination of grid interpolants reproduces the function exactly at
+    every point of the union sparse grid."""
+    coeffs = downset_coefficients(idx)
+    ds = set(coeffs)
+    parts = {ix: nodal_of(f_smooth, ix) for ix in ds}
+    pts = union_points(ds)
+    values = combination_at_points(parts, coeffs, pts)
+    expected = np.array([f_smooth(np.array(x), np.array(y))
+                         for x, y in pts])
+    assert np.allclose(values, expected, atol=1e-10)

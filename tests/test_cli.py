@@ -1,0 +1,103 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_baseline(capsys):
+    rc = main(["run", "--technique", "AC", "--n", "6", "--steps", "8",
+               "--diag-procs", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "l1 error" in out
+    assert "AC on OPL" in out
+
+
+def test_run_with_simulated_loss(capsys):
+    rc = main(["run", "--technique", "RC", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--lose", "1", "--machine", "ideal"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "grids [1]" in out
+
+
+def test_run_with_real_failures(capsys):
+    rc = main(["run", "--technique", "CR", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--failures", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "failures           : 1" in out
+    assert "reconstruction" in out
+    assert "checkpoints" in out
+
+
+def test_run_json_output(capsys):
+    rc = main(["run", "--technique", "AC", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--json", "--machine", "ideal"])
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["technique"] == "AC"
+    assert data["world_size"] == 14
+    assert "error_l1" in data
+
+
+def test_describe(capsys):
+    rc = main(["describe", "--technique", "RC", "--n", "6",
+               "--diag-procs", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "CombinationScheme" in out
+    assert "Layout" in out
+    assert "replica-pair constraints" in out
+
+
+def test_experiment_quick_fig10(capsys):
+    rc = main(["experiment", "fig10", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "l1 error" in out
+
+
+def test_experiment_table1(capsys):
+    rc = main(["experiment", "table1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "112.610" in out  # the 304-core spawn time
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--machine", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_quick_fig9(capsys):
+    rc = main(["experiment", "fig9", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Raijin" in out and "recovery" in out
+
+
+def test_run_2d_decomposition(capsys):
+    rc = main(["run", "--technique", "AC", "--n", "6", "--steps", "8",
+               "--diag-procs", "4", "--decomposition", "2d",
+               "--machine", "ideal"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "l1 error" in out
+
+
+def test_run_machine_optimal_checkpoints(capsys):
+    rc = main(["run", "--technique", "CR", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--checkpoints", "-1",
+               "--compute-scale", "1e6"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "checkpoints" in out

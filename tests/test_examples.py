@@ -1,0 +1,43 @@
+"""The shipped examples must run and say what they claim."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "baseline l1 error" in out
+    assert "alternate combination coefficients" in out
+    assert "x baseline" in out
+
+
+def test_ulfm_primitives(capsys):
+    out = run_example("ulfm_primitives.py", capsys)
+    assert "MPI_ERR_PROC_FAILED" in out
+    assert "shrink: 6 -> 5" in out
+    assert "replacement regained rank 3/6" in out
+    assert "original order restored" in out
+
+
+def test_heat_equation(capsys):
+    out = run_example("heat_equation.py", capsys)
+    assert "heat equation" in out
+    assert "recovered l1 error" in out
+
+
+@pytest.mark.slow
+def test_fault_recovery_demo(capsys):
+    out = run_example("fault_recovery_demo.py", capsys)
+    for code in ("CR", "RC", "AC"):
+        assert f"--- {code}:" in out
+    assert "Table I" in out

@@ -1,0 +1,135 @@
+"""Failure-injection fuzzing: randomized kills against the full pipeline.
+
+These are the highest-value integration tests in the suite: random victim
+sets at random times (including Poisson-process failures and kills landing
+mid-recovery) must always end in a completed run with a finite error —
+never a deadlock, never an unhandled exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AppConfig, baseline_solve_time, run_app
+from repro.core.app import app_main
+from repro.core.runner import make_universe
+from repro.ft.failure_injection import FailureGenerator, Kill
+from repro.machine.presets import OPL
+
+
+def fuzz_run(code, kills, *, n=6, diag_procs=2, steps=16, n_spares=0,
+             decomposition="1d"):
+    cfg = AppConfig(n=n, level=4, technique_code=code, steps=steps,
+                    diag_procs=diag_procs, checkpoint_count=4,
+                    decomposition=decomposition)
+    uni, total = make_universe(cfg, OPL, n_spares=n_spares)
+    job = uni.launch(total, app_main, argv=(cfg,))
+    gen = FailureGenerator()
+    gen.inject(uni, job, kills)
+    uni.run()
+    m = job.results()[0]
+    assert m is not None, "rank 0 must survive and report"
+    assert np.isfinite(m.error_l1)
+    return m
+
+
+def _solve_window(code, n=6, diag_procs=2, steps=16):
+    cfg = AppConfig(n=n, level=4, technique_code=code, steps=steps,
+                    diag_procs=diag_procs, checkpoint_count=4)
+    m = run_app(cfg, OPL)
+    return m.t_solve, m.t_total, cfg.layout()
+
+
+@pytest.mark.parametrize("code", ["CR", "RC", "AC"])
+@pytest.mark.parametrize("seed", range(6))
+def test_random_kills_during_solve(code, seed):
+    t_solve, _t_total, layout = _solve_window(code)
+    pairs = layout.conflict_pairs_ranks() if code == "RC" else ()
+    gen = FailureGenerator(seed, protect={0}, conflict_pairs=pairs,
+                           rank_to_grid=layout.gid_of)
+    n_failures = 1 + seed % 3
+    frac = 0.15 + 0.7 * ((seed * 37) % 10) / 10.0
+    kills = gen.plan(layout.total_procs, n_failures,
+                     at=max(t_solve * frac, 1e-9))
+    m = fuzz_run(code, kills)
+    assert m.n_failures == n_failures
+    assert len(m.lost_gids) >= 1
+
+
+@pytest.mark.parametrize("code", ["CR", "AC"])
+@pytest.mark.parametrize("seed", range(4))
+def test_poisson_failures_over_the_run(code, seed):
+    """MTBF-driven failures spread across the whole solve window."""
+    t_solve, _, layout = _solve_window(code)
+    gen = FailureGenerator(seed, protect={0},
+                           rank_to_grid=layout.gid_of)
+    horizon = max(t_solve * 0.9, 1e-6)
+    kills = gen.poisson_plan(layout.total_procs, mtbf=horizon / 3.0,
+                             horizon=horizon, max_failures=3)
+    m = fuzz_run(code, kills)
+    assert m.n_failures == len(kills)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_staggered_kills_across_cr_segments(seed):
+    """Failures landing in different checkpoint segments, one after the
+    other, each repaired before the next hits.
+
+    Earlier repairs stretch/compress the failed run's timeline relative to
+    the clean run used for scheduling, so a late kill can land after the
+    final detection point (and is then simply a process dying after the
+    job finished) — at least the first two must be detected, and recovery
+    stays exact regardless.
+    """
+    t_solve, t_total, layout = _solve_window("CR")
+    gen = FailureGenerator(seed, protect={0}, rank_to_grid=layout.gid_of)
+    victims = gen.choose_victims(layout.total_procs, 3)
+    kills = [Kill(v, max(t_solve * f, 1e-9))
+             for v, f in zip(victims, (0.15, 0.45, 0.7))]
+    m = fuzz_run("CR", kills)
+    assert 2 <= m.n_failures <= 3
+    # exact recovery regardless of how many hits landed
+    clean = run_app(AppConfig(n=6, level=4, technique_code="CR", steps=16,
+                              diag_procs=2, checkpoint_count=4), OPL)
+    assert m.error_l1 == pytest.approx(clean.error_l1, rel=1e-12)
+
+
+@pytest.mark.parametrize("code", ["CR", "AC"])
+def test_kill_landing_mid_reconstruction(code):
+    """A second failure timed to land while the first repair is running
+    (the repair-retry / Fig. 3 loop path).  The repair window is measured
+    from a single-failure run of the same configuration."""
+    t_solve, t_total, layout = _solve_window(code)
+    gen = FailureGenerator(11, protect={0}, rank_to_grid=layout.gid_of)
+    v1, v2 = gen.choose_victims(layout.total_procs, 2)
+    t1 = max(t_solve * 0.5, 1e-9)
+    probe = fuzz_run(code, [Kill(v1, t1)])
+    assert probe.n_failures == 1
+    window = probe.t_reconstruct + probe.t_detect
+    assert window > 0
+    kills = [Kill(v1, t1), Kill(v2, t1 + window * 0.5)]
+    m = fuzz_run(code, kills)
+    assert m.n_failures == 2
+
+
+@pytest.mark.parametrize("code", ["CR", "RC", "AC"])
+def test_fuzz_2d_decomposition(code):
+    t_solve, _, layout = _solve_window(code, diag_procs=4)
+    gen = FailureGenerator(5, protect={0},
+                           conflict_pairs=layout.conflict_pairs_ranks()
+                           if code == "RC" else (),
+                           rank_to_grid=layout.gid_of)
+    kills = gen.plan(layout.total_procs, 2, at=max(t_solve * 0.4, 1e-9))
+    m = fuzz_run(code, kills, diag_procs=4, decomposition="2d")
+    assert m.n_failures == 2
+
+
+def test_many_failures_half_the_grids():
+    """Paper's extreme: up to 5 of the AC grids lost at once."""
+    t_solve, _, layout = _solve_window("AC", diag_procs=2)
+    gen = FailureGenerator(3, protect={0}, rank_to_grid=layout.gid_of)
+    kills = gen.plan(layout.total_procs, 5, at=max(t_solve * 0.5, 1e-9))
+    m = fuzz_run("AC", kills)
+    assert m.n_failures == 5
+    base = run_app(AppConfig(n=6, level=4, technique_code="AC", steps=16,
+                             diag_procs=2), OPL)
+    assert m.error_l1 < 1000 * base.error_l1
