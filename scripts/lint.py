@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Run the ULF lint over the repository (same checks as
+``python -m repro lint``; rule catalog in docs/analysis.md).
+
+Usage: python scripts/lint.py [paths ...]
+
+Exits non-zero on violations.  The lint also runs inside tier-1
+(`tests/analysis/test_lint.py::test_repro_package_is_lint_clean` keeps
+the package clean on every pytest run).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))

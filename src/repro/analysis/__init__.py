@@ -1,0 +1,37 @@
+"""Static and trace-based analysis for the fault-tolerance simulator.
+
+Three analyzers (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.linter` — AST lint enforcing ULFM/simulation
+  idioms (rules ULF001-ULF005), exposed as ``python -m repro lint``;
+* :mod:`repro.analysis.protocol` — replay of a recorded trace against the
+  paper's revoke/shrink/spawn/merge/split recovery state machine,
+  exposed as ``python -m repro analyze-trace``;
+* :mod:`repro.analysis.races` — vector-clock happens-before checking for
+  ANY_SOURCE/ANY_TAG message races, plus the wait-for-graph explainer
+  the engine uses to annotate :class:`~repro.simkernel.errors.DeadlockError`.
+
+:mod:`repro.analysis.runtime` audits a finished universe for leaked MPI
+resources; :mod:`repro.analysis.pytest_plugin` wires the leak and race
+checks into the mpi-layer test suite.
+"""
+
+from .events import ParsedEvent, TruncatedTraceError, parse_events
+from .linter import (LintViolation, RULES, default_lint_paths, format_report,
+                     lint_file, lint_paths)
+from .protocol import (ProtocolViolation, RecoveryEpisode, check_protocol,
+                       format_violations, recovery_episodes)
+from .races import (MessageRace, build_wait_for_graph, find_message_races,
+                    format_races, format_wait_for_graph)
+from .runtime import LeakReport, check_runtime_leaks
+
+__all__ = [
+    "ParsedEvent", "TruncatedTraceError", "parse_events",
+    "LintViolation", "RULES", "default_lint_paths", "format_report",
+    "lint_file", "lint_paths",
+    "ProtocolViolation", "RecoveryEpisode", "check_protocol",
+    "format_violations", "recovery_episodes",
+    "MessageRace", "build_wait_for_graph", "find_message_races",
+    "format_races", "format_wait_for_graph",
+    "LeakReport", "check_runtime_leaks",
+]

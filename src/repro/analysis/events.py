@@ -1,0 +1,107 @@
+"""Parsed trace-event model shared by the protocol and race analyzers.
+
+:class:`~repro.mpi.tracing.Tracer` records free-text events; this module
+turns them into structured :class:`ParsedEvent` records using the detail
+formats emitted by :mod:`repro.mpi.comm`, :mod:`repro.mpi.intercomm` and
+:mod:`repro.mpi.universe`:
+
+========  =======================  =======================================
+kind      actor                    detail
+========  =======================  =======================================
+send      sender proc name         ``<comm> <src>-><dst> tag=<t> [inter]``
+recv      receiver proc name       ``<comm> <src>-><dst> tag=<t> [anysrc] [anytag] [inter]``
+coll      caller proc name         ``<op> <comm> r<rank>``
+kill      killed proc name         free text
+spawn     spawned job name         ``<count> proc(s) for <parent comm>``
+revoke    revoking proc name       ``<comm> r<rank>``
+revoked   communicator name        ``propagated``
+========  =======================  =======================================
+
+Unparseable events are kept with ``comm=None`` so analyzers can skip them
+without losing the time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class TruncatedTraceError(ValueError):
+    """The tracer overflowed (``dropped > 0``): analysis results would be
+    unsound, so the analyzers refuse to run."""
+
+
+@dataclass
+class ParsedEvent:
+    index: int
+    time: float
+    actor: str
+    kind: str
+    detail: str
+    comm: Optional[str] = None
+    op: Optional[str] = None        #: collective op name (kind == "coll")
+    src: Optional[int] = None       #: sender rank (send/recv)
+    dst: Optional[int] = None       #: receiver rank (send/recv)
+    tag: Optional[int] = None
+    anysrc: bool = False            #: recv was posted with ANY_SOURCE
+    anytag: bool = False            #: recv was posted with ANY_TAG
+    inter: bool = False             #: p2p across an intercommunicator
+    rank: Optional[int] = None      #: caller rank (coll/revoke)
+    spawn_count: Optional[int] = None
+    spawn_parent: Optional[str] = None  #: comm the spawn was collective over
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.time:.6f}] {self.actor} {self.kind} {self.detail}"
+
+
+def _parse_p2p(ev: ParsedEvent, tokens: List[str]) -> None:
+    ev.comm = tokens[0]
+    src, dst = tokens[1].split("->")
+    ev.src, ev.dst = int(src), int(dst)
+    for tok in tokens[2:]:
+        if tok.startswith("tag="):
+            ev.tag = int(tok[4:])
+        elif tok == "anysrc":
+            ev.anysrc = True
+        elif tok == "anytag":
+            ev.anytag = True
+        elif tok == "inter":
+            ev.inter = True
+
+
+def parse_event(index: int, raw) -> ParsedEvent:
+    """Parse one :class:`~repro.mpi.tracing.TraceEvent` (best effort)."""
+    ev = ParsedEvent(index, raw.time, raw.actor, raw.kind, raw.detail)
+    tokens = raw.detail.split()
+    try:
+        if raw.kind in ("send", "recv") and len(tokens) >= 2:
+            _parse_p2p(ev, tokens)
+        elif raw.kind == "coll" and len(tokens) >= 3:
+            ev.op, ev.comm = tokens[0], tokens[1]
+            if tokens[2].startswith("r"):
+                ev.rank = int(tokens[2][1:])
+        elif raw.kind == "revoke" and len(tokens) >= 1:
+            ev.comm = tokens[0]
+            if len(tokens) >= 2 and tokens[1].startswith("r"):
+                ev.rank = int(tokens[1][1:])
+        elif raw.kind == "revoked":
+            ev.comm = raw.actor
+        elif raw.kind == "spawn" and "for" in tokens:
+            ev.spawn_count = int(tokens[0])
+            ev.spawn_parent = tokens[tokens.index("for") + 1]
+    except (ValueError, IndexError):
+        ev.comm = None  # keep the event, but analyzers will skip it
+    return ev
+
+
+def parse_events(trace, *, allow_truncated: bool = False) -> List[ParsedEvent]:
+    """Parse a :class:`Tracer` (or plain event sequence) into structured
+    events, refusing truncated traces unless ``allow_truncated``."""
+    dropped = getattr(trace, "dropped", 0)
+    if dropped and not allow_truncated:
+        raise TruncatedTraceError(
+            f"trace dropped {dropped} event(s) past the recorder bound; "
+            "raise Tracer(max_events=...) and re-record")
+    events: Sequence = getattr(trace, "events", trace)
+    return [parse_event(i, e) for i, e in enumerate(events)]

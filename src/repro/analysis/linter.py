@@ -1,0 +1,365 @@
+"""AST lint for ULFM/simulation idioms (rules ULF001-ULF005).
+
+The simulator's correctness leans on a handful of conventions that plain
+Python happily lets you break: failure exceptions must reach the recovery
+protocol, the event loop must stay deterministic, collectives must not be
+retried from inside the very handler that caught their failure.  This
+linter walks the AST of every target file and flags violations of those
+conventions.  See ``docs/analysis.md`` for the full catalog with
+violation/fix examples.
+
+========  ================================================================
+ULF001    bare/broad ``except`` that can swallow ``ProcFailedError`` /
+          ``RevokedError`` without re-raising or inspecting the exception
+ULF002    wall-clock time or unseeded randomness in simulated code
+          (breaks deterministic replay; use ``ctx.wtime()`` / seeded
+          ``random.Random(seed)``)
+ULF003    communicator-creating call whose result is discarded (the new
+          communicator can never be used or freed)
+ULF004    blocking (non-fault-tolerant) collective awaited inside a
+          failure handler; only ``agree``/``shrink`` are safe there
+ULF005    checkpoint write not preceded by a synchronising operation in
+          the same function (partial checkpoints on failure)
+========  ================================================================
+
+Suppression: append ``# noqa`` (all rules) or ``# noqa: ULF002`` /
+``# noqa: ULF001,ULF004`` to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LintViolation", "RULES", "lint_file", "lint_paths",
+           "default_lint_paths", "format_report"]
+
+RULES: Dict[str, str] = {
+    "ULF001": "broad except may swallow ProcFailedError/RevokedError",
+    "ULF002": "wall-clock/unseeded randomness breaks deterministic replay",
+    "ULF003": "communicator created but discarded (never used or freed)",
+    "ULF004": "blocking collective inside a failure handler",
+    "ULF005": "checkpoint write without preceding synchronisation",
+}
+
+#: exception names whose handlers count as *failure handlers* (ULF004)
+_FAILURE_EXCEPTS = {"MPIError", "ProcFailedError", "RevokedError",
+                    "CommInvalidError", "TaskFailedError"}
+#: collectives that block on every member and die with it (RvKind.NORMAL)
+_BLOCKING_COLLECTIVES = {"barrier", "bcast", "reduce", "allreduce",
+                         "gather", "allgather", "scatter", "alltoall",
+                         "scan", "merge", "split", "dup", "spawn_multiple"}
+#: fault-tolerant operations, fine inside failure handlers
+_SURVIVOR_CALLS = {"agree", "shrink", "revoke", "failure_ack",
+                   "failure_get_acked"}
+#: methods returning a fresh communicator (ULF003)
+_COMM_CREATORS = {"dup", "split", "shrink", "merge"}
+#: awaits that synchronise the group before a checkpoint write (ULF005)
+_SYNC_CALLS = {"barrier", "agree", "allreduce", "allgather", "alltoall",
+               "bcast", "communicator_reconstruct"}
+#: wall-clock attributes of the ``time`` module (ULF002)
+_WALLCLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns",
+                   "perf_counter", "perf_counter_ns", "sleep"}
+_WALLCLOCK_DATETIME = {"now", "utcnow", "today"}
+#: module-level functions of ``random`` that use the global RNG (ULF002)
+_GLOBAL_RANDOM = {"random", "randint", "randrange", "choice", "choices",
+                  "shuffle", "sample", "uniform", "gauss", "betavariate",
+                  "expovariate", "normalvariate", "getrandbits", "seed"}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?",
+                      re.IGNORECASE)
+
+
+@dataclass
+class LintViolation:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _call_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name of a ``x.y(...)`` call, else None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """Either the attribute (``x.y(...)``) or plain (``y(...)``) name."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+    return None
+
+
+def _except_names(handler: ast.ExceptHandler) -> Set[str]:
+    """Leaf names of the handler's exception type(s); empty for bare."""
+    t = handler.type
+    if t is None:
+        return set()
+    nodes = t.elts if isinstance(t, ast.Tuple) else [t]
+    names = set()
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            names.add(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.add(n.attr)
+    return names
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.lines = source.splitlines()
+        self.violations: List[LintViolation] = []
+        # import tracking for ULF002
+        self.module_aliases: Dict[str, str] = {}     # alias -> module
+        self.from_imports: Dict[str, Tuple[str, str]] = {}  # alias -> (mod, name)
+
+    # -- plumbing --------------------------------------------------------
+    def flag(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(line, rule):
+            return
+        self.violations.append(LintViolation(
+            rule, self.path, line, getattr(node, "col_offset", 0) + 1,
+            message))
+
+    def _suppressed(self, line: int, rule: str) -> bool:
+        if not (1 <= line <= len(self.lines)):
+            return False
+        m = _NOQA_RE.search(self.lines[line - 1])
+        if not m:
+            return False
+        codes = m.group("codes")
+        if not codes:
+            return True
+        return rule in {c.strip().upper() for c in codes.split(",")}
+
+    # -- imports (ULF002 support) ---------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = \
+                    (node.module, alias.name)
+        self.generic_visit(node)
+
+    # -- ULF001: broad excepts ------------------------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            self._check_broad_except(handler)
+            self._check_collective_in_handler(handler)
+        self.generic_visit(node)
+
+    def _check_broad_except(self, handler: ast.ExceptHandler) -> None:
+        names = _except_names(handler)
+        bare = handler.type is None
+        broad = bool(names & {"Exception", "BaseException"})
+        if not (bare or broad):
+            return
+        body_raises = any(isinstance(n, ast.Raise)
+                          for stmt in handler.body for n in ast.walk(stmt))
+        uses_bound = handler.name is not None and any(
+            isinstance(n, ast.Name) and n.id == handler.name
+            for stmt in handler.body for n in ast.walk(stmt))
+        if body_raises or uses_bound:
+            return
+        what = "bare except" if bare else f"except {'/'.join(sorted(names))}"
+        self.flag("ULF001", handler,
+                  f"{what} silently swallows ProcFailedError/RevokedError; "
+                  "catch the specific MPI error, re-raise, or inspect the "
+                  "exception")
+
+    # -- ULF004: blocking collective inside failure handler -------------
+    def _check_collective_in_handler(self, handler: ast.ExceptHandler) -> None:
+        names = _except_names(handler)
+        is_failure = handler.type is None or bool(names & _FAILURE_EXCEPTS)
+        if not is_failure:
+            return
+        for await_node in self._unguarded_awaits(handler.body):
+            attr = _call_attr(await_node.value)
+            if attr in _BLOCKING_COLLECTIVES:
+                self.flag(
+                    "ULF004", await_node,
+                    f"blocking collective '{attr}' awaited inside a "
+                    "failure handler: if the failure also broke this "
+                    "communicator the handler deadlocks; use agree/shrink "
+                    "or revoke-then-repair")
+
+    def _unguarded_awaits(self, body: Sequence[ast.stmt]):
+        """Await nodes in ``body`` not wrapped in their own MPI-error try."""
+        for stmt in body:
+            if isinstance(stmt, ast.Try):
+                guarded = any(h.type is None
+                              or _except_names(h) & _FAILURE_EXCEPTS
+                              for h in stmt.handlers)
+                if not guarded:
+                    yield from self._unguarded_awaits(stmt.body)
+                for h in stmt.handlers:
+                    yield from self._unguarded_awaits(h.body)
+                yield from self._unguarded_awaits(stmt.orelse)
+                yield from self._unguarded_awaits(stmt.finalbody)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # a nested def is a new scope, not handler code
+            else:
+                for n in ast.walk(stmt):
+                    if isinstance(n, ast.Await):
+                        yield n
+
+    # -- ULF002: wall clock / unseeded randomness ------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_determinism(node)
+        self.generic_visit(node)
+
+    def _resolve_call(self, node: ast.Call) -> Optional[Tuple[str, str]]:
+        """(module, function) of a call through tracked imports, or None."""
+        f = node.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            mod = self.module_aliases.get(f.value.id)
+            if mod is not None:
+                return mod, f.attr
+            # datetime.datetime.now: `datetime` name bound by from-import
+            origin = self.from_imports.get(f.value.id)
+            if origin is not None:
+                return f"{origin[0]}.{origin[1]}", f.attr
+        elif isinstance(f, ast.Attribute) and \
+                isinstance(f.value, ast.Attribute) and \
+                isinstance(f.value.value, ast.Name):
+            mod = self.module_aliases.get(f.value.value.id)
+            if mod is not None:
+                return f"{mod}.{f.value.attr}", f.attr
+        elif isinstance(f, ast.Name):
+            origin = self.from_imports.get(f.id)
+            if origin is not None:
+                return origin
+        return None
+
+    def _check_determinism(self, node: ast.Call) -> None:
+        resolved = self._resolve_call(node)
+        if resolved is None:
+            return
+        mod, fn = resolved
+        if mod == "time" and fn in _WALLCLOCK_TIME:
+            self.flag("ULF002", node,
+                      f"time.{fn}() reads the wall clock; simulated code "
+                      "must use ctx.wtime() / engine.now (virtual time)")
+        elif mod in ("datetime", "datetime.datetime", "datetime.date") \
+                and fn in _WALLCLOCK_DATETIME:
+            self.flag("ULF002", node,
+                      f"datetime {fn}() reads the wall clock; derive "
+                      "timestamps from virtual time instead")
+        elif mod == "random" and fn in _GLOBAL_RANDOM:
+            self.flag("ULF002", node,
+                      f"random.{fn}() uses the global unseeded RNG; create "
+                      "a random.Random(seed) owned by the caller")
+        elif mod == "random" and fn == "Random" and not node.args \
+                and not node.keywords:
+            self.flag("ULF002", node,
+                      "random.Random() without a seed is nondeterministic; "
+                      "pass an explicit seed")
+
+    # -- ULF003: discarded communicator ----------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        val = node.value
+        if isinstance(val, ast.Await):
+            attr = _call_attr(val.value)
+            if attr in _COMM_CREATORS:
+                self.flag("ULF003", node,
+                          f"result of '{attr}' discarded: the new "
+                          "communicator can never be used or freed (leaks "
+                          "its rendezvous/message state)")
+        self.generic_visit(node)
+
+    # -- ULF005: unsynchronised checkpoint write --------------------------
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        awaits = [(n.lineno, n) for body in (node.body,)
+                  for stmt in body for n in ast.walk(stmt)
+                  if isinstance(n, ast.Await)]
+        awaits.sort(key=lambda p: p[0])
+        synced_at: Optional[int] = None
+        for line, aw in awaits:
+            name = _call_name(aw.value)
+            if name in _SYNC_CALLS:
+                synced_at = line
+            elif name == "write_checkpoint":
+                if synced_at is None:
+                    self.flag(
+                        "ULF005", aw,
+                        "checkpoint write without a preceding "
+                        "synchronising operation (barrier/agree/"
+                        "allreduce/reconstruct) in this function: a "
+                        "failure mid-write leaves a torn checkpoint "
+                        "generation")
+        self.generic_visit(node)
+
+
+def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
+    """Lint one Python file; syntax errors become a single pseudo-violation
+    (rule ``ULF000``) rather than an exception."""
+    p = str(path)
+    if source is None:
+        source = Path(path).read_text()
+    try:
+        tree = ast.parse(source, filename=p)
+    except SyntaxError as exc:
+        return [LintViolation("ULF000", p, exc.lineno or 1,
+                              (exc.offset or 0) + 1,
+                              f"syntax error: {exc.msg}")]
+    linter = _FileLinter(p, source)
+    linter.visit(tree)
+    return sorted(linter.violations, key=lambda v: (v.path, v.line, v.col))
+
+
+def _iter_py_files(paths: Sequence) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence) -> List[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    out: List[LintViolation] = []
+    for f in _iter_py_files(paths):
+        out.extend(lint_file(f))
+    return out
+
+
+def default_lint_paths() -> List[Path]:
+    """The repository's own lintable code: the ``repro`` package plus the
+    ``examples/`` directory when running from a checkout."""
+    pkg = Path(__file__).resolve().parent.parent  # src/repro
+    targets = [pkg]
+    examples = pkg.parent.parent / "examples"
+    if examples.is_dir():
+        targets.append(examples)
+    return targets
+
+
+def format_report(violations: List[LintViolation],
+                  n_files: Optional[int] = None) -> str:
+    if not violations:
+        suffix = f" ({n_files} file(s))" if n_files is not None else ""
+        return f"lint: clean{suffix}"
+    lines = [str(v) for v in violations]
+    lines.append(f"lint: {len(violations)} violation(s)")
+    return "\n".join(lines)

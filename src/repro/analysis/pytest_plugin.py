@@ -1,0 +1,70 @@
+"""Pytest plugin: automatic leak/race audit for mpi-layer tests.
+
+Registered in ``pytest.ini`` (``-p repro.analysis.pytest_plugin``).  For
+every test under ``tests/mpi/`` it records the universes the test creates
+and, after the test body finishes, runs:
+
+* :func:`repro.analysis.runtime.check_runtime_leaks` — leak *errors* fail
+  the test;
+* :func:`repro.analysis.races.find_message_races` on the universe's tracer
+  (when tracing was on) — detected message races fail the test unless it
+  is marked ``@pytest.mark.allow_races`` (for tests that exercise races
+  deliberately).
+
+The audit is intentionally scoped to ``tests/mpi``: higher-layer tests
+drive whole applications where post-run communicator state is part of the
+scenario under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_AUDIT_PATH = "tests/mpi/"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "allow_races: suppress the automatic message-race audit for tests "
+        "that create races on purpose")
+
+
+@pytest.fixture(autouse=True)
+def mpi_runtime_audit(request):
+    """Collect every Universe the test creates; audit them afterwards."""
+    nodeid = request.node.nodeid.replace("\\", "/")
+    if _AUDIT_PATH not in nodeid:
+        yield
+        return
+
+    from repro.mpi.universe import Universe
+
+    created = []
+    orig_init = Universe.__init__
+
+    def recording_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        created.append(self)
+
+    Universe.__init__ = recording_init
+    try:
+        yield
+    finally:
+        Universe.__init__ = orig_init
+
+    from .races import find_message_races
+    from .runtime import check_runtime_leaks
+
+    problems = []
+    for universe in created:
+        report = check_runtime_leaks(universe)
+        problems.extend(report.errors)
+        tracer = universe.tracer
+        if tracer is not None and \
+                request.node.get_closest_marker("allow_races") is None:
+            for race in find_message_races(tracer, allow_truncated=True):
+                problems.append(str(race))
+    if problems:
+        pytest.fail("mpi runtime audit failed:\n  "
+                    + "\n  ".join(problems), pytrace=False)

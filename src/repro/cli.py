@@ -5,10 +5,15 @@
     python -m repro run --technique AC --n 8 --steps 64 --failures 2
     python -m repro experiment fig10 --quick
     python -m repro describe --technique RC --n 8
+    python -m repro lint [paths ...]
+    python -m repro analyze-trace trace.jsonl
 
 ``run`` executes one application run (optionally with real failures) and
 prints the metrics; ``experiment`` regenerates one paper table/figure;
-``describe`` prints the combination scheme and process layout.
+``describe`` prints the combination scheme and process layout; ``lint``
+runs the ULF001-ULF005 static checks; ``analyze-trace`` replays a
+recorded event trace through the protocol and race analyzers (record one
+with ``run --trace FILE``).
 """
 
 from __future__ import annotations
@@ -61,7 +66,15 @@ def cmd_run(args) -> int:
         kills = plan_failures(make_cfg(), args.failures,
                               at=max(t_solve * args.failure_fraction, 1e-9),
                               seed=args.seed)
-    metrics = run_app(make_cfg(), machine, kills=kills)
+    tracer = None
+    if args.trace:
+        from .mpi.tracing import Tracer
+        tracer = Tracer(max_events=args.trace_max_events)
+    metrics = run_app(make_cfg(), machine, kills=kills, tracer=tracer)
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace: {len(tracer.events)} event(s) "
+              f"({tracer.dropped} dropped) -> {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(metrics.to_dict(), default=str, indent=2))
     else:
@@ -132,6 +145,57 @@ def cmd_describe(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import (default_lint_paths, format_report, lint_paths,
+                           RULES)
+    if args.rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    paths = args.paths or default_lint_paths()
+    import os
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+    violations = lint_paths(paths)
+    from .analysis.linter import _iter_py_files
+    print(format_report(violations, n_files=len(_iter_py_files(paths))))
+    return 1 if violations else 0
+
+
+def cmd_analyze_trace(args) -> int:
+    from .analysis import (TruncatedTraceError, check_protocol,
+                           find_message_races, format_races,
+                           format_violations, recovery_episodes)
+    from .mpi.tracing import Tracer
+    try:
+        trace = Tracer.load(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such trace file: {args.file}")
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {args.file} is not a trace file: {exc}")
+    print(f"{args.file}: {len(trace.events)} event(s)"
+          + (f", {trace.dropped} dropped" if trace.dropped else ""))
+    try:
+        episodes = recovery_episodes(trace,
+                                     allow_truncated=args.allow_truncated)
+        violations = check_protocol(trace,
+                                    allow_truncated=args.allow_truncated)
+        races = find_message_races(trace,
+                                   allow_truncated=args.allow_truncated)
+    except TruncatedTraceError as exc:
+        raise SystemExit(f"error: {exc} (or pass --allow-truncated)")
+    if episodes:
+        print(f"recovery episodes ({len(episodes)}):")
+        for ep in episodes:
+            print(f"  {ep.describe()}")
+    print(format_violations(violations))
+    print(format_races(races))
+    return 1 if (violations or races) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--json", action="store_true",
                        help="print metrics as JSON")
+    p_run.add_argument("--trace", metavar="FILE",
+                       help="record the MPI event stream to FILE (JSONL), "
+                            "for 'analyze-trace'")
+    p_run.add_argument("--trace-max-events", type=int, default=100_000,
+                       help="trace ring-buffer bound")
     p_run.set_defaults(fn=cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
@@ -166,6 +235,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print scheme and process layout")
     _add_common(p_desc)
     p_desc.set_defaults(fn=cmd_describe)
+
+    p_lint = sub.add_parser("lint",
+                            help="static ULFM/simulation idiom checks")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories (default: the repro "
+                             "package and examples/)")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="list the rule catalog and exit")
+    p_lint.set_defaults(fn=cmd_lint)
+
+    p_an = sub.add_parser("analyze-trace",
+                          help="protocol + race analysis of a recorded "
+                               "trace")
+    p_an.add_argument("file", help="JSONL trace from 'run --trace'")
+    p_an.add_argument("--allow-truncated", action="store_true",
+                      help="analyze even if the recorder dropped events "
+                           "(results may be unsound)")
+    p_an.set_defaults(fn=cmd_analyze_trace)
     return parser
 
 

@@ -27,11 +27,17 @@ def make_universe(cfg: AppConfig, machine: MachineSpec = OPL,
 
 
 def run_app(cfg: AppConfig, machine: MachineSpec = OPL, *,
-            kills: Sequence[Kill] = (), n_spares: int = 0) -> RunMetrics:
-    """Execute one application run and return rank 0's metrics."""
+            kills: Sequence[Kill] = (), n_spares: int = 0,
+            tracer=None) -> RunMetrics:
+    """Execute one application run and return rank 0's metrics.
+
+    ``tracer`` (a :class:`~repro.mpi.tracing.Tracer`) records the MPI
+    event stream for offline analysis (``python -m repro analyze-trace``).
+    """
     if cfg.technique_code.upper() == "CR" and cfg.disk is None:
         cfg.disk = Disk()
     universe, total = make_universe(cfg, machine, n_spares)
+    universe.tracer = tracer
     job = universe.launch(total, app_main, argv=(cfg,))
     if kills:
         gen = FailureGenerator()  # only used for injection here

@@ -161,6 +161,7 @@ class CommState:
         if self.revoked:
             return
         self.revoked = True
+        self.universe.trace(self.name, "revoked", "propagated")
         self.board.revoke_all(now)
         self.rtable.doom_all(RevokedError(f"{self.name} revoked"), now,
                              self.universe.machine.failure_detection_latency)
@@ -259,15 +260,25 @@ class CommHandle:
             self._check_rank(source)
         fut = self._engine.create_future(
             label=f"recv:{self.state.name}:{self.rank}")
+        fut.waits_for = {"kind": "recv", "state": self.state,
+                         "rank": self.rank, "source": source, "tag": tag}
         self.state.board.register_recv(self.rank, source, tag, fut,
                                        self.state.dead_ranks())
         try:
             msg = await fut
         except MPIError as exc:
             self._raise(exc)
+        self._trace_recv(msg, source, tag)
         if return_status:
             return msg.payload, Status(msg.src, msg.tag)
         return msg.payload
+
+    def _trace_recv(self, msg, source: int, tag: int) -> None:
+        flags = ("" if source != ANY_SOURCE else " anysrc") + \
+                ("" if tag != ANY_TAG else " anytag")
+        self.state.universe.trace(
+            self.proc.name, "recv",
+            f"{self.state.name} {msg.src}->{self.rank} tag={msg.tag}{flags}")
 
     async def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
                        sendtag: int = 0, recvtag: int = ANY_TAG):
@@ -293,6 +304,9 @@ class CommHandle:
         cost = machine.p2p_cost(payload_nbytes(obj))
         payload = clone_payload(obj)
         self.state.universe.stats.record_message(payload_nbytes(obj))
+        self.state.universe.trace(
+            self.proc.name, "send",
+            f"{self.state.name} {self.rank}->{dest} tag={tag}")
         arrival = engine.now + cost
 
         def _post():
@@ -308,9 +322,16 @@ class CommHandle:
         self._check_usable()
         fut = self._engine.create_future(
             label=f"irecv:{self.state.name}:{self.rank}")
+        fut.waits_for = {"kind": "recv", "state": self.state,
+                         "rank": self.rank, "source": source, "tag": tag}
         self.state.board.register_recv(self.rank, source, tag, fut,
                                        self.state.dead_ranks())
-        return Request(fut, transform=lambda msg: msg.payload)
+
+        def _complete(msg):
+            self._trace_recv(msg, source, tag)
+            return msg.payload
+
+        return Request(fut, transform=_complete)
 
     # ------------------------------------------------------------------
     # collectives
@@ -337,6 +358,8 @@ class CommHandle:
         state.universe.trace(self.proc.name, "coll",
                              f"{op_name} {state.name} r{self.rank}")
         fut = engine.create_future(label=f"{op_name}:{state.name}:{self.rank}")
+        fut.waits_for = {"kind": "coll", "op": op_name, "state": state,
+                         "rank": self.rank, "rv": rv}
         rv.arrive(self.proc, value, fut)
         state.rtable.cleanup()
         try:
@@ -631,6 +654,8 @@ class CommHandle:
         and fails every pending/future operation on this communicator."""
         state = self.state
         engine = self._engine
+        state.universe.trace(self.proc.name, "revoke",
+                             f"{state.name} r{self.rank}")
         delay = self._machine.ulfm.revoke(state.size)
         engine.call_at(engine.now + delay, state.do_revoke, engine.now + delay)
 

@@ -109,6 +109,7 @@ class IntercommState:
         if self.revoked:
             return
         self.revoked = True
+        self.universe.trace(self.name, "revoked", "propagated")
         self.board.revoke_all(now)
         self.rtable.doom_all(RevokedError(f"{self.name} revoked"), now,
                              self.universe.machine.failure_detection_latency)
@@ -172,6 +173,9 @@ class IntercommHandle:
         if cost:
             await Sleep(cost)
         self.state.universe.stats.record_message(payload_nbytes(obj))
+        self.state.universe.trace(
+            self.proc.name, "send",
+            f"{self.state.name} {self.rank}->{dest} tag={tag} inter")
         self.state.board.post(self.rank, target.uid, tag,
                               clone_payload(obj), self._engine.now)
 
@@ -180,11 +184,17 @@ class IntercommHandle:
             self._raise(RevokedError(f"{self.state.name} revoked"))
         dead = frozenset(i for i, p in enumerate(self.remote_group) if p.dead)
         fut = self._engine.create_future(label=f"i-recv:{self.state.name}")
+        fut.waits_for = {"kind": "recv", "state": self.state,
+                         "rank": self.rank, "source": source, "tag": tag,
+                         "inter": True}
         self.state.board.register_recv(self.proc.uid, source, tag, fut, dead)
         try:
             msg = await fut
         except MPIError as exc:
             self._raise(exc)
+        self.state.universe.trace(
+            self.proc.name, "recv",
+            f"{self.state.name} {msg.src}->{self.rank} tag={msg.tag} inter")
         return msg.payload
 
     # ------------------------------------------------------------------
@@ -208,6 +218,8 @@ class IntercommHandle:
         state.universe.trace(self.proc.name, "coll",
                              f"{op_name} {state.name} r{self.rank}")
         fut = engine.create_future(label=f"{op_name}:{state.name}")
+        fut.waits_for = {"kind": "coll", "op": op_name, "state": state,
+                         "rank": self.rank, "rv": rv}
         rv.arrive(self.proc, value, fut)
         state.rtable.cleanup()
         try:
@@ -277,6 +289,8 @@ class IntercommHandle:
     def revoke(self) -> None:
         state = self.state
         engine = self._engine
+        state.universe.trace(self.proc.name, "revoke",
+                             f"{state.name} r{self.rank}")
         delay = self._machine.ulfm.revoke(len(state.all_procs))
         engine.call_at(engine.now + delay, state.do_revoke, engine.now + delay)
 

@@ -8,6 +8,7 @@ documentation examples; tracing is off (a no-op stub) by default.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional
@@ -17,11 +18,19 @@ from typing import List, Optional
 class TraceEvent:
     time: float
     actor: str
-    kind: str       #: "send" | "coll" | "kill" | "spawn" | custom
+    kind: str       #: "send" | "recv" | "coll" | "kill" | "spawn" | "revoke" | "revoked" | custom
     detail: str
 
     def __str__(self) -> str:
         return f"[{self.time:12.6f}] {self.actor:>14s} {self.kind:<6s} {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {"t": self.time, "actor": self.actor, "kind": self.kind,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        return cls(float(d["t"]), d["actor"], d["kind"], d["detail"])
 
 
 class Tracer:
@@ -49,20 +58,59 @@ class Tracer:
         return out
 
     def histogram(self) -> Counter:
-        """Event counts by (kind, first token of detail)."""
+        """Event counts by (kind, first token of detail).
+
+        When the recorder overflowed, the count of lost events appears
+        under the ``("dropped", "")`` key so downstream analyzers can tell
+        the trace is incomplete.
+        """
         c: Counter = Counter()
         for e in self.events:
             c[(e.kind, e.detail.split()[0] if e.detail else "")] += 1
+        if self.dropped:
+            c[("dropped", "")] = self.dropped
         return c
 
     def timeline(self, limit: int = 50, *, kind: Optional[str] = None
                  ) -> str:
         events = self.filter(kind=kind)[:limit]
         lines = [str(e) for e in events]
-        extra = len(self.filter(kind=kind)) - len(events) + self.dropped
+        extra = len(self.filter(kind=kind)) - len(events)
         if extra > 0:
             lines.append(f"... ({extra} more)")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped")
         return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # ------------------------------------------------------------------
+    # persistence (the ``repro analyze-trace`` CLI input format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the trace as JSONL: a header record, then one event per line."""
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "header", "version": 1,
+                                 "max_events": self.max_events,
+                                 "dropped": self.dropped}) + "\n")
+            for e in self.events:
+                fh.write(json.dumps(e.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Tracer":
+        with open(path) as fh:
+            first = fh.readline()
+            if not first.strip():
+                return cls()
+            head = json.loads(first)
+            if head.get("type") == "header":
+                tracer = cls(max_events=head.get("max_events", 100_000))
+                tracer.dropped = head.get("dropped", 0)
+            else:  # headerless file: first line is already an event
+                tracer = cls()
+                tracer.events.append(TraceEvent.from_dict(head))
+            for line in fh:
+                if line.strip():
+                    tracer.events.append(TraceEvent.from_dict(json.loads(line)))
+        return tracer

@@ -141,7 +141,12 @@ class Engine:
             raise TaskFailedError(t, t.exception) from t.exception
         blocked = [t for t in self._tasks.values() if t.alive and t.blocked]
         if blocked and until is None:
-            raise DeadlockError(blocked)
+            try:  # best effort: explain who waits on whom (and any cycle)
+                from ..analysis.races import format_wait_for_graph
+                wait_graph = format_wait_for_graph(blocked)
+            except Exception:  # noqa: ULF001 - never mask the deadlock
+                wait_graph = ""
+            raise DeadlockError(blocked, wait_graph=wait_graph)
         return self.now
 
     def _step(self, task: Task, value: Any, exc: Optional[BaseException]) -> None:

@@ -15,10 +15,14 @@ class DeadlockError(SimError):
     participant never entered.
     """
 
-    def __init__(self, blocked):
+    def __init__(self, blocked, wait_graph: str = ""):
         self.blocked = list(blocked)
+        self.wait_graph = wait_graph
         lines = ", ".join(f"{t.name}(waiting on {t.waiting_on!r})" for t in self.blocked)
-        super().__init__(f"simulation deadlock: {len(self.blocked)} task(s) blocked: {lines}")
+        msg = f"simulation deadlock: {len(self.blocked)} task(s) blocked: {lines}"
+        if wait_graph:
+            msg = f"{msg}\n{wait_graph}"
+        super().__init__(msg)
 
 
 class TaskFailedError(SimError):

@@ -43,11 +43,16 @@ class SimFuture:
     latency is modelled — the producer resolves the future "in the future".
     """
 
-    __slots__ = ("engine", "label", "_done", "_result", "_exception", "_time", "_waiters", "_callbacks")
+    __slots__ = ("engine", "label", "_done", "_result", "_exception", "_time",
+                 "_waiters", "_callbacks", "waits_for")
 
     def __init__(self, engine, label: str = ""):
         self.engine = engine
         self.label = label
+        #: optional dependency descriptor set by higher layers (the MPI
+        #: layer records what operation this future stands for), consumed
+        #: by the wait-for-graph deadlock explainer in ``repro.analysis``
+        self.waits_for: Optional[dict] = None
         self._done = False
         self._result: Any = None
         self._exception: Optional[BaseException] = None

@@ -1,0 +1,36 @@
+"""Deliberately broken module: every ULF rule must fire on this file.
+
+Used by the lint acceptance tests — do not "fix" it.
+"""
+
+import random
+import time
+
+
+async def swallow_failures(comm):
+    try:
+        await comm.barrier()
+    except Exception:          # ULF001: swallows ProcFailedError
+        pass
+
+
+async def wall_clock_and_rng(ctx):
+    started = time.time()      # ULF002: wall clock in simulated code
+    jitter = random.random()   # ULF002: global unseeded RNG
+    rng = random.Random()      # ULF002: unseeded Random instance
+    return started + jitter + rng.random()
+
+
+async def leak_communicator(comm):
+    await comm.dup()           # ULF003: new communicator discarded
+
+
+async def retry_inside_handler(comm):
+    try:
+        await comm.allreduce(1)
+    except MPIError:
+        await comm.barrier()   # ULF004: blocking collective in handler
+
+
+async def torn_checkpoint(ctx, disk, solver):
+    await write_checkpoint(ctx, disk, 0, 0, solver, None)  # ULF005

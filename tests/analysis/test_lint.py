@@ -1,0 +1,144 @@
+"""ULF lint rules (repro.analysis.linter)."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import RULES, lint_file, lint_paths
+from repro.cli import main as cli_main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
+PACKAGE = Path(repro.__file__).parent
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ---------------------------------------------------------------------------
+# self-check and seeded-violation fixture
+# ---------------------------------------------------------------------------
+def test_repro_package_is_lint_clean():
+    violations = lint_paths([PACKAGE])
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_fixture_trips_every_rule():
+    violations = lint_file(FIXTURE)
+    assert rules_of(violations) == sorted(RULES)  # ULF001..ULF005 all fire
+
+
+def test_cli_lint_exit_codes(capsys):
+    assert cli_main(["lint", str(FIXTURE)]) == 1
+    assert "ULF001" in capsys.readouterr().out
+    assert cli_main(["lint", str(PACKAGE)]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_cli_lint_rules_listing(capsys):
+    assert cli_main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+# ---------------------------------------------------------------------------
+# rule behaviour on edge cases
+# ---------------------------------------------------------------------------
+def check(source):
+    return lint_file("<test>", source=source)
+
+
+def test_ulf001_allows_reraise_and_inspection():
+    clean = """
+try:
+    risky()
+except Exception:
+    raise
+try:
+    risky()
+except Exception as exc:
+    log(exc)
+try:
+    risky()
+except ValueError:
+    pass
+"""
+    assert check(clean) == []
+
+
+def test_ulf001_flags_silent_broad_except():
+    assert rules_of(check("try:\n    x()\nexcept BaseException:\n"
+                          "    pass\n")) == ["ULF001"]
+
+
+def test_ulf002_allows_seeded_random():
+    clean = """
+import random
+rng = random.Random(42)
+value = rng.random()
+"""
+    assert check(clean) == []
+
+
+def test_ulf002_tracks_import_aliases():
+    src = """
+from time import monotonic
+import random as rnd
+
+def f():
+    a = monotonic()
+    b = rnd.randint(0, 5)
+"""
+    assert rules_of(check(src)) == ["ULF002"]
+    assert len(check(src)) == 2
+
+
+def test_ulf003_allows_used_result():
+    clean = """
+async def f(comm):
+    new = await comm.dup()
+    return new
+"""
+    assert check(clean) == []
+
+
+def test_ulf004_allows_survivor_ops_and_guarded_retries():
+    clean = """
+async def f(comm):
+    try:
+        await comm.barrier()
+    except MPIError:
+        await comm.agree(1)
+        shrunk = await comm.shrink()
+        try:
+            await comm.barrier()
+        except MPIError:
+            pass
+"""
+    assert check(clean) == []
+
+
+def test_ulf005_satisfied_by_reconstruct():
+    clean = """
+async def f(ctx, disk, solver):
+    world = await communicator_reconstruct(ctx, world, entry=main)
+    await write_checkpoint(ctx, disk, 0, 0, solver, None)
+"""
+    assert check(clean) == []
+
+
+def test_noqa_suppression():
+    src = "import time\nt = time.time()  # noqa\n"
+    assert check(src) == []
+    src = "import time\nt = time.time()  # noqa: ULF002\n"
+    assert check(src) == []
+    # a different rule's code does not suppress
+    src = "import time\nt = time.time()  # noqa: ULF001\n"
+    assert rules_of(check(src)) == ["ULF002"]
+
+
+def test_syntax_error_becomes_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    violations = lint_file(bad)
+    assert [v.rule for v in violations] == ["ULF000"]

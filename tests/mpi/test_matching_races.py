@@ -1,0 +1,86 @@
+"""Deterministic wildcard matching under contention.
+
+The matching rule (see :mod:`repro.mpi.matching`): a wildcard receive
+scanning already-posted messages picks the earliest *arrival*; ties break
+on posting sequence.  These tests pin that tie-breaking down and verify it
+is stable across identical runs — the property the analysis layer's race
+detector (repro.analysis.races) relies on when it reports that a race,
+although present, resolves deterministically in the simulator.
+"""
+
+import pytest
+
+from repro.machine.presets import IDEAL, OPL
+from repro.mpi.errors import ANY_SOURCE, ANY_TAG
+from repro.mpi.universe import Universe
+
+
+def contended_run(machine=OPL, *, delays=(0.3, 0.1, 0.2), payload="r{}"):
+    """3 senders with staggered starts racing into rank 0's wildcard
+    receives; returns the received payload order."""
+    order = []
+
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.compute(1.0)  # let every message arrive first
+            for _ in range(ctx.size - 1):
+                got, status = await ctx.comm.recv(
+                    source=ANY_SOURCE, tag=ANY_TAG, return_status=True)
+                order.append((got, status.source))
+        else:
+            await ctx.compute(delays[ctx.rank - 1])
+            await ctx.comm.send(payload.format(ctx.rank), dest=0,
+                                tag=ctx.rank)
+        return None
+
+    uni = Universe(machine)
+    uni.launch(4, main)
+    uni.run()
+    return order
+
+
+def test_earliest_arrival_wins():
+    """Wildcard receives drain posted messages in arrival order, not in
+    sender-rank order."""
+    order = contended_run(delays=(0.3, 0.1, 0.2))
+    # sender start delays: rank1=0.3, rank2=0.1, rank3=0.2 -> arrivals 2,3,1
+    assert [src for _, src in order] == [2, 3, 1]
+    assert [got for got, _ in order] == ["r2", "r3", "r1"]
+
+
+def test_simultaneous_arrivals_tie_break_on_posting_order():
+    """Equal arrival times: the first-posted message wins (seq order), and
+    on an IDEAL machine every send arrives at the same instant."""
+    order = contended_run(machine=IDEAL, delays=(0.0, 0.0, 0.0))
+    # identical arrival time for all three; posting order is rank order
+    assert [src for _, src in order] == [1, 2, 3]
+
+
+def test_matching_is_stable_across_runs():
+    """Two runs of the identical contended program must agree exactly —
+    the determinism claim behind 'the simulator resolves races stably'."""
+    first = contended_run()
+    second = contended_run()
+    assert first == second
+
+
+def test_blocked_wildcard_matches_first_arrival():
+    """When the receive is posted *before* any message exists, the first
+    message to arrive wakes it, regardless of sender rank."""
+    got = {}
+
+    async def main(ctx):
+        if ctx.rank == 0:
+            got["msg"] = await ctx.comm.recv(source=ANY_SOURCE)
+        elif ctx.rank == 1:
+            await ctx.compute(2.0)
+            await ctx.comm.send("slow", dest=0)
+        else:
+            await ctx.compute(0.5)
+            await ctx.comm.send("fast", dest=0)
+        return None
+
+    uni = Universe(OPL)
+    uni.launch(3, main)
+    uni.run(raise_task_failures=False)
+    assert got["msg"] == "fast"

@@ -71,7 +71,21 @@ def test_tracer_bounded():
         t.record(float(i), "a", "send", "x")
     assert len(t) == 2
     assert t.dropped == 3
-    assert "(3 more)" in t.timeline() or "more" in t.timeline()
+    assert "3 events dropped" in t.timeline()
+    assert t.histogram()[("dropped", "")] == 3
+
+
+def test_tracer_save_load_roundtrip(tmp_path):
+    t = Tracer(max_events=3)
+    for i in range(5):
+        t.record(float(i), f"p{i}", "send", f"c {i}->0 tag=0")
+    path = tmp_path / "trace.jsonl"
+    t.save(path)
+    back = Tracer.load(path)
+    assert len(back) == 3
+    assert back.dropped == 2
+    assert back.events[1].actor == "p1"
+    assert back.events[1].time == 1.0
 
 
 def test_tracing_off_by_default_no_overhead():
