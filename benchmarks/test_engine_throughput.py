@@ -44,8 +44,10 @@ def test_engine_message_throughput(benchmark):
     rate = messages / benchmark.stats["mean"]
     print(f"\n{messages} messages, {events} engine events, "
           f"{rate:,.0f} msg/s wall")
-    # regression guard: a healthy build sustains well over 10k msg/s
-    assert rate > 10_000
+    # regression guard: the indexed-matching fast path sustains ~160k msg/s
+    # on the reference machine; well under that still leaves headroom for
+    # slow CI, while catching a return to the pre-indexing ~80k regime
+    assert rate > 50_000
 
 
 @pytest.mark.benchmark(group="substrate")
@@ -66,4 +68,5 @@ def test_engine_collective_throughput(benchmark):
     assert colls == 16 * 200
     rate = 200 / benchmark.stats["mean"]
     print(f"\n{colls} allreduce calls, {rate:,.0f} rounds/s wall")
-    assert rate > 200
+    # ~8k rounds/s on the reference machine post fast-path work
+    assert rate > 1_500

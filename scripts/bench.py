@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Tracked substrate benchmark: emits ``BENCH_substrate.json``.
+
+Measures the four rates the simulation substrate's performance is judged
+by, on fixed workloads, and writes them to a JSON file committed next to
+the repo so regressions are visible in review diffs:
+
+* ``msg_per_s``         — ping-pong message throughput (8 pairs x 500
+  rounds on the IDEAL machine);
+* ``events_per_s``      — engine events processed per wall second in the
+  same run (scheduler overhead);
+* ``solver_steps_per_s`` — serial Lax–Wendroff steps per wall second on a
+  ``2^7 x 2^7`` periodic grid (the allocation-free kernel path);
+* ``coll_rounds_per_s`` — allreduce rounds per wall second (16 ranks x
+  200 rounds).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [-o BENCH_substrate.json]
+
+Each measurement is the best of ``--repeats`` runs (default 3) — wall
+time of the fastest run, which is the least noisy estimator on a shared
+machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.machine.presets import IDEAL  # noqa: E402
+from repro.mpi import Universe  # noqa: E402
+from repro.pde.advection import AdvectionProblem  # noqa: E402
+from repro.pde.lax_wendroff import SerialAdvectionSolver  # noqa: E402
+
+N_PAIRS = 8
+N_ROUNDS = 500
+N_COLL_RANKS = 16
+N_COLL_ROUNDS = 200
+SOLVER_LEVEL = 7
+N_SOLVER_STEPS = 400
+
+
+def _best(fn, repeats: int):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_messages(repeats: int) -> dict:
+    async def main(ctx):
+        partner = ctx.rank ^ 1
+        if ctx.rank % 2 == 0:
+            for i in range(N_ROUNDS):
+                await ctx.comm.send(i, dest=partner, tag=0)
+                await ctx.comm.recv(source=partner, tag=1)
+        else:
+            for i in range(N_ROUNDS):
+                await ctx.comm.recv(source=partner, tag=0)
+                await ctx.comm.send(i, dest=partner, tag=1)
+
+    def run():
+        uni = Universe(IDEAL)
+        uni.launch(2 * N_PAIRS, main)
+        uni.run()
+        return uni
+
+    secs, uni = _best(run, repeats)
+    messages = uni.stats.messages
+    events = uni.engine.events_processed
+    return {
+        "messages": messages,
+        "events": events,
+        "msg_per_s": round(messages / secs),
+        "events_per_s": round(events / secs),
+    }
+
+
+def bench_collectives(repeats: int) -> dict:
+    async def main(ctx):
+        for _ in range(N_COLL_ROUNDS):
+            await ctx.comm.allreduce(ctx.rank)
+
+    def run():
+        uni = Universe(IDEAL)
+        uni.launch(N_COLL_RANKS, main)
+        uni.run()
+        return uni
+
+    secs, uni = _best(run, repeats)
+    return {
+        "coll_calls": uni.stats.collectives["allreduce"],
+        "coll_rounds_per_s": round(N_COLL_ROUNDS / secs),
+    }
+
+
+def bench_solver(repeats: int) -> dict:
+    def run():
+        solver = SerialAdvectionSolver(AdvectionProblem(), SOLVER_LEVEL,
+                                       SOLVER_LEVEL, dt=1e-3)
+        solver.step(N_SOLVER_STEPS)
+        return solver
+
+    secs, _ = _best(run, repeats)
+    return {
+        "solver_grid": [1 << SOLVER_LEVEL, 1 << SOLVER_LEVEL],
+        "solver_steps": N_SOLVER_STEPS,
+        "solver_steps_per_s": round(N_SOLVER_STEPS / secs),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_substrate.json",
+                    help="output JSON path (default: %(default)s)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="runs per workload; best is kept (default 3)")
+    args = ap.parse_args(argv)
+
+    results = {
+        "python": platform.python_version(),
+        "workloads": {
+            "ping_pong": f"{N_PAIRS} pairs x {N_ROUNDS} rounds, IDEAL",
+            "allreduce": f"{N_COLL_RANKS} ranks x {N_COLL_ROUNDS} rounds, "
+                         "IDEAL",
+            "solver": f"serial Lax-Wendroff {1 << SOLVER_LEVEL}^2 periodic, "
+                      f"{N_SOLVER_STEPS} steps",
+        },
+    }
+    results.update(bench_messages(args.repeats))
+    results.update(bench_collectives(args.repeats))
+    results.update(bench_solver(args.repeats))
+
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    for key in ("msg_per_s", "events_per_s", "coll_rounds_per_s",
+                "solver_steps_per_s"):
+        print(f"{key:>20}: {results[key]:,}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -225,21 +225,62 @@ def _blockers(task, info) -> List[Tuple[object, str]]:
     return out
 
 
+def _reconstruct_waits_for(task, fut) -> Optional[dict]:
+    """Rebuild the wait info for an unannotated future.
+
+    With ``Universe(diagnostics=False)`` the MPI layer skips the per-call
+    ``waits_for`` bookkeeping, so at deadlock time we search the runtime
+    registries instead: a future blocked in a receive is referenced by
+    exactly one :class:`~repro.mpi.matching.PendingRecv` on some
+    communicator's message board, and a future blocked in a collective is
+    referenced by exactly one open rendezvous arrival.  Both searches walk
+    only this process's communicators — cold-path work paid once per
+    deadlock, never per message.
+    """
+    proc = task.meta.get("proc")
+    if proc is None:
+        return None
+    for state in getattr(proc, "comm_states", ()):
+        board = getattr(state, "board", None)
+        if board is not None:
+            for buckets in getattr(board, "_waiting", {}).values():
+                for q in buckets.values():
+                    for r in q:
+                        if r.future is fut:
+                            info = {"kind": "recv", "state": state,
+                                    "source": r.source, "tag": r.tag}
+                            if hasattr(state, "group_a"):  # intercomm
+                                info["inter"] = True
+                            return info
+        rtable = getattr(state, "rtable", None)
+        if rtable is not None:
+            for rv in getattr(rtable, "open", {}).values():
+                entry = rv.arrivals.get(proc.uid)
+                if entry is not None and entry[3] is fut:
+                    return {"kind": "coll", "op": rv.op_name,
+                            "state": state, "rv": rv}
+    return None
+
+
 def build_wait_for_graph(blocked_tasks) -> Dict[object, List[Tuple[object, str]]]:
     """Map each blocked task to the tasks it is waiting on (with reasons).
 
     Dependencies come from the ``waits_for`` annotations the MPI layer
-    sets on its futures; tasks blocked on unannotated futures appear with
-    an empty dependency list.
+    sets on its futures when ``Universe(diagnostics=True)``; without
+    annotations they are reconstructed from the message boards and open
+    rendezvous.  Tasks whose dependency cannot be determined either way
+    appear with an empty dependency list.
     """
     graph: Dict[object, List[Tuple[object, str]]] = {}
     for task in blocked_tasks:
         fut = task.waiting_on
         info = getattr(fut, "waits_for", None)
-        if info is None:
-            graph[task] = []
-            continue
         try:
+            if info is None:
+                info = _reconstruct_waits_for(task, fut)
+            if info is None:
+                graph[task] = []
+                continue
             graph[task] = _blockers(task, info)
         except Exception:  # noqa: ULF001 - must never mask the deadlock
             graph[task] = []

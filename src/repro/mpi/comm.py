@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..simkernel.traps import Sleep
 from .collectives import Rendezvous, RendezvousTable, RvKind
-from .datatypes import clone_payload, payload_nbytes
+from .datatypes import clone_payload, freeze_payload, payload_nbytes
 from .errors import (ANY_SOURCE, ANY_TAG, UNDEFINED, CommInvalidError,
                      MPIError, ProcFailedError, RankError, RevokedError)
 from .group import Group
@@ -114,6 +114,13 @@ class CommState:
         self.acked: Dict[int, tuple] = {}
         self.errhandlers: Dict[int, Callable] = {}
         self._rank_cache = {p.uid: i for i, p in enumerate(self.procs)}
+        #: cached failed-rank snapshot, maintained by on_proc_death so the
+        #: per-receive dead-source check is O(1) instead of a membership
+        #: scan over every member
+        self._dead_ranks = frozenset(
+            i for i, p in enumerate(self.procs) if p.dead)
+        #: cached diagnostics switch (future labels / waits_for annotations)
+        self.diag = universe.diagnostics
         universe.stats.comms_created += 1
         for p in self.procs:
             p.comm_states.add(self)
@@ -127,7 +134,7 @@ class CommState:
         return self._rank_cache.get(proc.uid, UNDEFINED)
 
     def dead_ranks(self) -> frozenset:
-        return frozenset(i for i, p in enumerate(self.procs) if p.dead)
+        return self._dead_ranks
 
     def n_failed(self) -> int:
         return sum(1 for p in self.procs if p.dead)
@@ -153,6 +160,7 @@ class CommState:
     def on_proc_death(self, proc: Proc, now: float) -> None:
         """Called by the universe when a member dies."""
         rank = self.rank_of(proc)
+        self._dead_ranks = self._dead_ranks | {rank}
         self.board.drop_waiters_of(rank)
         self.board.on_rank_death(rank, now)
         self.rtable.on_proc_death(proc, now)
@@ -180,6 +188,13 @@ class CommHandle:
         self.state = state
         self.proc = proc
         self.rank = state.rank_of(proc)
+        # hot-path caches: engine/machine/board/stats are immutable for the
+        # life of the universe, so the per-operation attribute hops are
+        # avoidable
+        self._engine = state.universe.engine
+        self._machine = state.universe.machine
+        self._board = state.board
+        self._stats = state.universe.stats
 
     # -- basics ------------------------------------------------------------
     @property
@@ -197,14 +212,6 @@ class CommHandle:
     @property
     def universe(self):
         return self.state.universe
-
-    @property
-    def _engine(self):
-        return self.state.universe.engine
-
-    @property
-    def _machine(self):
-        return self.state.universe.machine
 
     def set_errhandler(self, handler: Callable[["CommHandle", MPIError], None]) -> None:
         """Install an error handler called before any MPIError is raised
@@ -229,13 +236,25 @@ class CommHandle:
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    async def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered standard-mode send (completes once injected)."""
-        self._check_usable()
-        self._check_rank(dest)
+    async def send(self, obj: Any, dest: int, tag: int = 0, *,
+                   copy: bool = True) -> None:
+        """Buffered standard-mode send (completes once injected).
+
+        ``copy=False`` transfers ownership of the payload instead of
+        cloning it: the caller promises not to mutate the buffer after the
+        call, and the receiver gets a read-only view (see
+        :func:`~repro.mpi.datatypes.freeze_payload`).
+        """
+        state = self.state
+        if state.revoked:
+            self._raise(RevokedError(f"{state.name} is revoked"))
+        procs = state.procs
+        if not 0 <= dest < len(procs):
+            raise RankError(f"rank {dest} out of range for {state.name}")
         machine = self._machine
-        cost = machine.p2p_cost(payload_nbytes(obj))
-        target = self.state.procs[dest]
+        nbytes = payload_nbytes(obj)
+        cost = machine.p2p_cost(nbytes)
+        target = procs[dest]
         if target.dead:
             if machine.failure_detection_latency:
                 await Sleep(machine.failure_detection_latency)
@@ -243,32 +262,41 @@ class CommHandle:
                 f"send to dead rank {dest}", failed_ranks=(dest,)))
         if cost:
             await Sleep(cost)
-        if self.state.revoked:
-            self._raise(RevokedError(f"{self.state.name} revoked during send"))
-        self.state.universe.stats.record_message(payload_nbytes(obj))
-        self.state.universe.trace(
-            self.proc.name, "send",
-            f"{self.state.name} {self.rank}->{dest} tag={tag}")
-        self.state.board.post(self.rank, dest, tag, clone_payload(obj),
-                              self._engine.now)
+        if state.revoked:
+            self._raise(RevokedError(f"{state.name} revoked during send"))
+        stats = self._stats
+        stats.messages += 1
+        stats.bytes_sent += nbytes
+        uni = state.universe
+        if uni.tracer is not None:
+            uni.trace(self.proc.name, "send",
+                      f"{state.name} {self.rank}->{dest} tag={tag}")
+        payload = clone_payload(obj) if copy else freeze_payload(obj)
+        self._board.post(self.rank, dest, tag, payload, self._engine.now)
 
     async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                    *, return_status: bool = False):
         """Blocking receive; raises ProcFailedError if the source is dead."""
-        self._check_usable()
-        if source not in (ANY_SOURCE,):
-            self._check_rank(source)
-        fut = self._engine.create_future(
-            label=f"recv:{self.state.name}:{self.rank}")
-        fut.waits_for = {"kind": "recv", "state": self.state,
-                         "rank": self.rank, "source": source, "tag": tag}
-        self.state.board.register_recv(self.rank, source, tag, fut,
-                                       self.state.dead_ranks())
+        state = self.state
+        if state.revoked:
+            self._raise(RevokedError(f"{state.name} is revoked"))
+        if source != ANY_SOURCE and not 0 <= source < len(state.procs):
+            raise RankError(f"rank {source} out of range for {state.name}")
+        if state.diag:
+            fut = self._engine.create_future(
+                label=f"recv:{state.name}:{self.rank}")
+            fut.waits_for = {"kind": "recv", "state": state,
+                             "rank": self.rank, "source": source, "tag": tag}
+        else:
+            fut = self._engine.create_future()
+        self._board.register_recv(self.rank, source, tag, fut,
+                                  state._dead_ranks)
         try:
             msg = await fut
         except MPIError as exc:
             self._raise(exc)
-        self._trace_recv(msg, source, tag)
+        if state.universe.tracer is not None:
+            self._trace_recv(msg, source, tag)
         if return_status:
             return msg.payload, Status(msg.src, msg.tag)
         return msg.payload
@@ -281,37 +309,53 @@ class CommHandle:
             f"{self.state.name} {msg.src}->{self.rank} tag={msg.tag}{flags}")
 
     async def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
-                       sendtag: int = 0, recvtag: int = ANY_TAG):
+                       sendtag: int = 0, recvtag: int = ANY_TAG, *,
+                       copy: bool = True):
         """Combined send+recv (deadlock-free under the buffered-send model)."""
-        req = self.isend(obj, dest, sendtag)
+        req = self.isend(obj, dest, sendtag, copy=copy)
         value = await self.recv(source, recvtag)
         await req.wait()
         return value
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Non-blocking send: posts the message after the injection cost."""
+    def isend(self, obj: Any, dest: int, tag: int = 0, *,
+              copy: bool = True) -> Request:
+        """Non-blocking send: posts the message after the injection cost.
+
+        ``copy=False`` is the ownership-transfer fast path: the payload is
+        not cloned; the caller must not mutate it after this call (the
+        halo-exchange paths pass freshly ``.copy()``-ed boundary rows).
+        """
         self._check_usable()
         self._check_rank(dest)
+        state = self.state
         machine = self._machine
         engine = self._engine
-        fut = engine.create_future(label=f"isend:{self.state.name}:{self.rank}")
-        target = self.state.procs[dest]
+        if state.diag:
+            fut = engine.create_future(
+                label=f"isend:{state.name}:{self.rank}")
+        else:
+            fut = engine.create_future()
+        target = state.procs[dest]
         if target.dead:
             fut.set_exception(
                 ProcFailedError(f"send to dead rank {dest}", failed_ranks=(dest,)),
                 at=engine.now + machine.failure_detection_latency)
             return Request(fut)
-        cost = machine.p2p_cost(payload_nbytes(obj))
-        payload = clone_payload(obj)
-        self.state.universe.stats.record_message(payload_nbytes(obj))
-        self.state.universe.trace(
-            self.proc.name, "send",
-            f"{self.state.name} {self.rank}->{dest} tag={tag}")
+        nbytes = payload_nbytes(obj)
+        cost = machine.p2p_cost(nbytes)
+        payload = clone_payload(obj) if copy else freeze_payload(obj)
+        uni = state.universe
+        uni.stats.record_message(nbytes)
+        if uni.tracer is not None:
+            uni.trace(self.proc.name, "send",
+                      f"{state.name} {self.rank}->{dest} tag={tag}")
         arrival = engine.now + cost
+        board = self._board
+        rank = self.rank
 
         def _post():
-            if not self.state.revoked:
-                self.state.board.post(self.rank, dest, tag, payload, arrival)
+            if not state.revoked:
+                board.post(rank, dest, tag, payload, arrival)
             if not fut.done:
                 fut.set_result(None, at=arrival)
 
@@ -320,15 +364,20 @@ class CommHandle:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         self._check_usable()
-        fut = self._engine.create_future(
-            label=f"irecv:{self.state.name}:{self.rank}")
-        fut.waits_for = {"kind": "recv", "state": self.state,
-                         "rank": self.rank, "source": source, "tag": tag}
-        self.state.board.register_recv(self.rank, source, tag, fut,
-                                       self.state.dead_ranks())
+        state = self.state
+        if state.diag:
+            fut = self._engine.create_future(
+                label=f"irecv:{state.name}:{self.rank}")
+            fut.waits_for = {"kind": "recv", "state": state,
+                             "rank": self.rank, "source": source, "tag": tag}
+        else:
+            fut = self._engine.create_future()
+        self._board.register_recv(self.rank, source, tag, fut,
+                                  state._dead_ranks)
 
         def _complete(msg):
-            self._trace_recv(msg, source, tag)
+            if state.universe.tracer is not None:
+                self._trace_recv(msg, source, tag)
             return msg.payload
 
         return Request(fut, transform=_complete)
@@ -354,12 +403,18 @@ class CommHandle:
                               cost_fn, finisher, detect, state.rank_of)
 
         rv = state.rtable.get_or_create(key, factory)
-        state.universe.stats.record_collective(op_name)
-        state.universe.trace(self.proc.name, "coll",
-                             f"{op_name} {state.name} r{self.rank}")
-        fut = engine.create_future(label=f"{op_name}:{state.name}:{self.rank}")
-        fut.waits_for = {"kind": "coll", "op": op_name, "state": state,
-                         "rank": self.rank, "rv": rv}
+        uni = state.universe
+        uni.stats.record_collective(op_name)
+        if uni.tracer is not None:
+            uni.trace(self.proc.name, "coll",
+                      f"{op_name} {state.name} r{self.rank}")
+        if state.diag:
+            fut = engine.create_future(
+                label=f"{op_name}:{state.name}:{self.rank}")
+            fut.waits_for = {"kind": "coll", "op": op_name, "state": state,
+                             "rank": self.rank, "rv": rv}
+        else:
+            fut = engine.create_future()
         rv.arrive(self.proc, value, fut)
         state.rtable.cleanup()
         try:
@@ -542,16 +597,7 @@ class CommHandle:
         """``MPI_Iprobe``: non-blocking check for a matching *arrived*
         message; returns its Status or None without consuming it."""
         self._check_usable()
-        from .matching import PendingRecv
-        now = self._engine.now
-        queue = self.state.board.posted.get(self.rank, [])
-        fake = PendingRecv(self.rank, source, tag, None, 0)
-        best = None
-        for msg in queue:
-            if msg.arrival <= now and self.state.board._matches(fake, msg):
-                if best is None or (msg.arrival, msg.seq) < \
-                        (best.arrival, best.seq):
-                    best = msg
+        best = self._board.probe(self.rank, source, tag, self._engine.now)
         return None if best is None else Status(best.src, best.tag)
 
     async def alltoall(self, objs: Sequence):

@@ -1,9 +1,18 @@
-"""Payload handling: size estimation and value-semantics cloning.
+"""Payload handling: size estimation, value-semantics cloning, zero-copy.
 
 The simulator passes Python objects between coroutines in the same address
 space.  Real MPI has value semantics (the receiver gets a copy), so mutable
-payloads — NumPy arrays in particular — are cloned on send.  Sizes feed the
-alpha–beta cost model.
+payloads — NumPy arrays in particular — are cloned on send by default.
+
+:func:`freeze_payload` is the zero-copy alternative for *ownership-transfer*
+boundaries (``send``/``isend`` with ``copy=False``): the sender promises
+never to mutate the buffer after the call — typically because it just built
+a private ``.copy()`` of a boundary row — and the receiver gets a read-only
+NumPy *view* of the same memory, so nothing is copied at all.  The
+read-only flag turns accidental receiver-side mutation into an immediate
+``ValueError`` instead of silent cross-rank aliasing.
+
+Sizes feed the alpha–beta cost model.
 """
 
 from __future__ import annotations
@@ -16,9 +25,24 @@ import numpy as np
 #: assumed wire size of an opaque small Python object (headers, ints, ...)
 _SCALAR_BYTES = 8
 
+#: exact-type fast table for the hottest payload kinds (scalars); checked
+#: before the isinstance chain so int/float payloads cost one dict lookup
+_SCALAR_TYPES = {int: _SCALAR_BYTES, float: _SCALAR_BYTES,
+                 bool: _SCALAR_BYTES, complex: _SCALAR_BYTES}
+
+#: exact types that are immutable and need no cloning at all
+_IMMUTABLE_TYPES = frozenset((int, float, bool, complex, str, bytes,
+                              frozenset, type(None)))
+
 
 def payload_nbytes(obj: Any) -> int:
     """Estimate the number of bytes ``obj`` would occupy on the wire."""
+    t = type(obj)
+    if t is np.ndarray:
+        return obj.nbytes
+    size = _SCALAR_TYPES.get(t)
+    if size is not None:
+        return size
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
@@ -44,7 +68,10 @@ def clone_payload(obj: Any) -> Any:
     Immutable objects are returned as-is.  Containers are cloned
     shallow-recursively (arrays within lists/tuples/dicts are copied).
     """
-    if isinstance(obj, np.ndarray):
+    t = type(obj)
+    if t in _IMMUTABLE_TYPES:
+        return obj
+    if t is np.ndarray or isinstance(obj, np.ndarray):
         return obj.copy()
     if isinstance(obj, list):
         return [clone_payload(x) for x in obj]
@@ -52,4 +79,26 @@ def clone_payload(obj: Any) -> Any:
         return tuple(clone_payload(x) for x in obj)
     if isinstance(obj, dict):
         return {k: clone_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def freeze_payload(obj: Any) -> Any:
+    """Zero-copy send-side handoff: read-only views instead of copies.
+
+    Arrays become read-only views sharing the sender's memory; containers
+    are rebuilt shallow-recursively so the arrays inside them are frozen
+    too.  Safe only when the caller relinquishes ownership of the buffer
+    (it must not mutate it after the send) — this is what
+    ``send(..., copy=False)`` / ``isend(..., copy=False)`` mean.
+    """
+    if isinstance(obj, np.ndarray):
+        view = obj.view()
+        view.flags.writeable = False
+        return view
+    if isinstance(obj, list):
+        return [freeze_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(freeze_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: freeze_payload(v) for k, v in obj.items()}
     return obj

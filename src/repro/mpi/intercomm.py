@@ -90,19 +90,11 @@ class IntercommState:
         _, other = self.local_remote(proc)
         detect = self.universe.machine.failure_detection_latency
         for q in other:
-            queue = self.board.waiting.get(q.uid)
-            if not queue:
-                continue
-            still = []
-            for recv in queue:
-                if recv.source == dead_rank:
-                    recv.future.set_exception(
-                        ProcFailedError(f"intercomm peer rank {dead_rank} died",
-                                        failed_ranks=(dead_rank,)),
-                        at=now + detect)
-                else:
-                    still.append(recv)
-            self.board.waiting[q.uid] = still
+            self.board.fail_source_waiters(
+                q.uid, dead_rank,
+                ProcFailedError(f"intercomm peer rank {dead_rank} died",
+                                failed_ranks=(dead_rank,)),
+                at=now + detect)
         self.rtable.on_proc_death(proc, now)
 
     def do_revoke(self, now: float) -> None:

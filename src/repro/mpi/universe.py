@@ -118,7 +118,8 @@ class Universe:
 
     def __init__(self, machine: MachineSpec = OPL, *,
                  hostfile: Optional[Hostfile] = None,
-                 engine: Optional[Engine] = None):
+                 engine: Optional[Engine] = None,
+                 diagnostics: bool = False):
         self.machine = machine
         self.engine = engine or Engine()
         self.hostfile = hostfile
@@ -127,6 +128,14 @@ class Universe:
         self.stats = CommStats()
         #: optional MPI-level event recorder (see repro.mpi.tracing)
         self.tracer = None
+        #: when True, communicators attach per-operation debugging
+        #: bookkeeping (future labels and ``waits_for`` annotations).  The
+        #: default is False — the deadlock explainer reconstructs wait info
+        #: from the message boards and open rendezvous on demand, so plain
+        #: runs pay zero per-message overhead.  Tracing bookkeeping is
+        #: independently free whenever ``tracer`` is None: call sites check
+        #: before building detail strings.
+        self.diagnostics = diagnostics
 
     def trace(self, actor: str, kind: str, detail: str) -> None:
         if self.tracer is not None:

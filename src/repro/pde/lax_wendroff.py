@@ -96,6 +96,90 @@ def lw_step_interior(w: np.ndarray, cx: float, cy: float) -> np.ndarray:
             + 0.25 * cx * cy * (uxpyp - uxpym - uxmyp + uxmym))
 
 
+# ----------------------------------------------------------------------
+# allocation-free kernel variants
+#
+# The expression kernels above allocate ~10 temporaries per step (8 of them
+# from np.roll in the periodic case).  The ``*_into`` variants below write
+# into caller-owned buffers instead, so a time loop allocates nothing.
+# They are *bit-identical* to the expression kernels: every elementwise
+# operation is issued in the same left-to-right association as the original
+# expression, so IEEE-754 rounding happens in exactly the same order.
+# ----------------------------------------------------------------------
+def fill_periodic_halo(u: np.ndarray, work: np.ndarray) -> np.ndarray:
+    """Copy ``u`` into the interior of the ``(nx+2, ny+2)`` buffer ``work``
+    and fill the ghost layer (corners included) by periodic wrap-around."""
+    work[1:-1, 1:-1] = u
+    work[0, 1:-1] = u[-1, :]
+    work[-1, 1:-1] = u[0, :]
+    work[:, 0] = work[:, -2]
+    work[:, -1] = work[:, 1]
+    return work
+
+
+def lw_step_interior_into(w: np.ndarray, cx: float, cy: float,
+                          out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`lw_step_interior`.
+
+    ``out`` and ``scratch`` have the interior shape ``w.shape - 2`` and are
+    overwritten; ``out`` is returned.  ``out``/``scratch`` must not overlap
+    ``w`` (``out`` *may* alias the array the caller copied into ``w``).
+    Results are bit-identical to :func:`lw_step_interior`.
+    """
+    u = w[1:-1, 1:-1]
+    uxp = w[2:, 1:-1]
+    uxm = w[:-2, 1:-1]
+    uyp = w[1:-1, 2:]
+    uym = w[1:-1, :-2]
+    ax = 0.5 * cx
+    ay = 0.5 * cy
+    axx = 0.5 * cx * cx
+    ayy = 0.5 * cy * cy
+    axy = 0.25 * cx * cy
+    t = scratch
+    # u - 0.5*cx*(uxp - uxm)
+    np.subtract(uxp, uxm, out=t)
+    t *= ax
+    np.subtract(u, t, out=out)
+    # ... - 0.5*cy*(uyp - uym)
+    np.subtract(uyp, uym, out=t)
+    t *= ay
+    out -= t
+    # ... + 0.5*cx*cx*(uxp - 2.0*u + uxm)
+    np.multiply(2.0, u, out=t)
+    np.subtract(uxp, t, out=t)
+    t += uxm
+    t *= axx
+    out += t
+    # ... + 0.5*cy*cy*(uyp - 2.0*u + uym)
+    np.multiply(2.0, u, out=t)
+    np.subtract(uyp, t, out=t)
+    t += uym
+    t *= ayy
+    out += t
+    # ... + 0.25*cx*cy*(uxpyp - uxpym - uxmyp + uxmym)
+    np.subtract(w[2:, 2:], w[2:, :-2], out=t)
+    t -= w[:-2, 2:]
+    t += w[:-2, :-2]
+    t *= axy
+    out += t
+    return out
+
+
+def lw_step_periodic_into(u: np.ndarray, cx: float, cy: float,
+                          out: np.ndarray, work: np.ndarray,
+                          scratch: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`lw_step_periodic`.
+
+    ``work`` is a ``(nx+2, ny+2)`` halo buffer; ``out`` and ``scratch``
+    have the shape of ``u``.  ``out`` may alias ``u`` (the state is staged
+    through ``work`` before ``out`` is written).  Bit-identical to
+    :func:`lw_step_periodic`.
+    """
+    fill_periodic_halo(u, work)
+    return lw_step_interior_into(work, cx, cy, out, scratch)
+
+
 @dataclass
 class SerialAdvectionSolver:
     """Single-process reference solver on one anisotropic sub-grid.
@@ -113,12 +197,33 @@ class SerialAdvectionSolver:
     def __post_init__(self):
         self.u = periodic_from_initial(self.problem, self.level_x, self.level_y)
         self.step_count = 0
+        # persistent buffers for the allocation-free kernel path (lazily
+        # sized on first step; unused for problems without into-kernels)
+        self._buf_a = self._buf_b = self._work = self._scratch = None
 
     @property
     def time(self) -> float:
         return self.step_count * self.dt
 
     def step(self, n: int = 1) -> None:
+        if getattr(self.problem, "inplace_kernels", False):
+            if self._buf_a is None:
+                nx, ny = self.u.shape
+                self._buf_a = np.empty_like(self.u)
+                self._buf_b = np.empty_like(self.u)
+                self._work = np.empty((nx + 2, ny + 2), dtype=self.u.dtype)
+                self._scratch = np.empty_like(self.u)
+            for _ in range(n):
+                # double buffer: write into whichever private buffer the
+                # state does not currently occupy (never into a caller-
+                # assigned array)
+                out = self._buf_b if self.u is self._buf_a else self._buf_a
+                self.problem.step_periodic(
+                    self.u, self.level_x, self.level_y, self.dt,
+                    out=out, work=self._work, scratch=self._scratch)
+                self.u = out
+                self.step_count += 1
+            return
         for _ in range(n):
             self.u = self.problem.step_periodic(
                 self.u, self.level_x, self.level_y, self.dt)

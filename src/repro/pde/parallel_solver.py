@@ -49,6 +49,9 @@ class DistributedAdvectionSolver:
         full = periodic_from_initial(problem, level_x, level_y)
         self.u = np.ascontiguousarray(
             full[lo:hi, :] if self.axis == 0 else full[:, lo:hi])
+        # persistent step buffers (lazily sized; only used when the problem
+        # provides allocation-free kernels)
+        self._w = self._buf_a = self._buf_b = self._ti = self._scratch = None
 
     # ------------------------------------------------------------------
     @property
@@ -69,21 +72,31 @@ class DistributedAdvectionSolver:
     # time stepping
     # ------------------------------------------------------------------
     async def exchange_halos(self) -> np.ndarray:
-        """Return the padded block (one ghost layer on all four sides)."""
+        """Return the padded block (one ghost layer on all four sides).
+
+        The padded buffer is persistent (every cell is overwritten each
+        call).  Halo rows are sent with ``copy=False``: the ``.copy()``
+        here already transfers ownership of a private row, so the MPI layer
+        need not clone it again (the receiver gets a read-only view).
+        """
         comm = self.comm
         u = self.u if self.axis == 0 else self.u.T
         prev_r, next_r = self.decomp.neighbours(comm.rank)
         if comm.size == 1:
-            lo_ghost, hi_ghost = u[-1, :].copy(), u[0, :].copy()
+            lo_ghost, hi_ghost = u[-1, :], u[0, :]
         else:
-            req_a = comm.isend(u[0, :].copy(), dest=prev_r, tag=_HALO_TAG_UP)
-            req_b = comm.isend(u[-1, :].copy(), dest=next_r, tag=_HALO_TAG_DOWN)
+            req_a = comm.isend(u[0, :].copy(), dest=prev_r,
+                               tag=_HALO_TAG_UP, copy=False)
+            req_b = comm.isend(u[-1, :].copy(), dest=next_r,
+                               tag=_HALO_TAG_DOWN, copy=False)
             lo_ghost = await comm.recv(source=prev_r, tag=_HALO_TAG_DOWN)
             hi_ghost = await comm.recv(source=next_r, tag=_HALO_TAG_UP)
             await req_a.wait()
             await req_b.wait()
         nloc, ny = u.shape
-        w = np.empty((nloc + 2, ny + 2), dtype=u.dtype)
+        w = self._w
+        if w is None or w.shape != (nloc + 2, ny + 2):
+            w = self._w = np.empty((nloc + 2, ny + 2), dtype=u.dtype)
         w[1:-1, 1:-1] = u
         w[0, 1:-1] = lo_ghost
         w[-1, 1:-1] = hi_ghost
@@ -94,12 +107,36 @@ class DistributedAdvectionSolver:
 
     async def step(self, n: int = 1) -> None:
         transposed = self.axis == 1
+        inplace = getattr(self.problem, "inplace_kernels", False)
         for _ in range(n):
             w = await self.exchange_halos()
-            unew = self.problem.step_interior(
-                w, self.level_x, self.level_y, self.dt,
-                transposed=transposed)
-            self.u = unew if self.axis == 0 else np.ascontiguousarray(unew.T)
+            if inplace:
+                if self._buf_a is None or self._buf_a.shape != self.u.shape:
+                    self._buf_a = np.empty_like(self.u)
+                    self._buf_b = np.empty_like(self.u)
+                    interior = (w.shape[0] - 2, w.shape[1] - 2)
+                    self._scratch = np.empty(interior, dtype=self.u.dtype)
+                    self._ti = (None if not transposed
+                                else np.empty(interior, dtype=self.u.dtype))
+                # double buffer: write into whichever private buffer the
+                # state does not currently occupy
+                out = self._buf_b if self.u is self._buf_a else self._buf_a
+                if transposed:
+                    unew = self.problem.step_interior(
+                        w, self.level_x, self.level_y, self.dt,
+                        transposed=True, out=self._ti, scratch=self._scratch)
+                    np.copyto(out, unew.T)
+                else:
+                    self.problem.step_interior(
+                        w, self.level_x, self.level_y, self.dt,
+                        transposed=False, out=out, scratch=self._scratch)
+                self.u = out
+            else:
+                unew = self.problem.step_interior(
+                    w, self.level_x, self.level_y, self.dt,
+                    transposed=transposed)
+                self.u = unew if self.axis == 0 \
+                    else np.ascontiguousarray(unew.T)
             self.step_count += 1
             await self.ctx.compute(
                 flops=FLOPS_PER_POINT * self.u.size * self.compute_scale)

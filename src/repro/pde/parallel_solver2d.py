@@ -74,6 +74,9 @@ class Distributed2DAdvectionSolver:
         full = periodic_from_initial(problem, level_x, level_y)
         self.u = np.ascontiguousarray(
             full[self._xlo:self._xhi, self._ylo:self._yhi])
+        # persistent step buffers (lazily sized; only used when the problem
+        # provides allocation-free kernels)
+        self._w = self._buf_a = self._buf_b = self._scratch = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,10 +102,18 @@ class Distributed2DAdvectionSolver:
 
     # ------------------------------------------------------------------
     async def exchange_halos(self) -> np.ndarray:
+        """Two-phase halo exchange into a persistent padded buffer.
+
+        Halo rows/columns are sent with ``copy=False``: the ``.copy()``
+        already hands over a private buffer, so the MPI layer skips its
+        own clone (the receiver sees a read-only view).
+        """
         comm = self.comm
         u = self.u
         nxl, nyl = u.shape
-        w = np.empty((nxl + 2, nyl + 2), dtype=u.dtype)
+        w = self._w
+        if w is None or w.shape != (nxl + 2, nyl + 2):
+            w = self._w = np.empty((nxl + 2, nyl + 2), dtype=u.dtype)
         w[1:-1, 1:-1] = u
         px, py = comm.dims
 
@@ -112,8 +123,10 @@ class Distributed2DAdvectionSolver:
             w[0, 1:-1] = u[-1, :]
             w[-1, 1:-1] = u[0, :]
         else:
-            ra = comm.isend(u[0, :].copy(), dest=prev_x, tag=_TAG_XLO)
-            rb = comm.isend(u[-1, :].copy(), dest=next_x, tag=_TAG_XHI)
+            ra = comm.isend(u[0, :].copy(), dest=prev_x, tag=_TAG_XLO,
+                            copy=False)
+            rb = comm.isend(u[-1, :].copy(), dest=next_x, tag=_TAG_XHI,
+                            copy=False)
             w[0, 1:-1] = await comm.recv(source=prev_x, tag=_TAG_XHI)
             w[-1, 1:-1] = await comm.recv(source=next_x, tag=_TAG_XLO)
             await ra.wait()
@@ -125,8 +138,10 @@ class Distributed2DAdvectionSolver:
             w[:, 0] = w[:, -2]
             w[:, -1] = w[:, 1]
         else:
-            ra = comm.isend(w[:, 1].copy(), dest=prev_y, tag=_TAG_YLO)
-            rb = comm.isend(w[:, -2].copy(), dest=next_y, tag=_TAG_YHI)
+            ra = comm.isend(w[:, 1].copy(), dest=prev_y, tag=_TAG_YLO,
+                            copy=False)
+            rb = comm.isend(w[:, -2].copy(), dest=next_y, tag=_TAG_YHI,
+                            copy=False)
             w[:, 0] = await comm.recv(source=prev_y, tag=_TAG_YHI)
             w[:, -1] = await comm.recv(source=next_y, tag=_TAG_YLO)
             await ra.wait()
@@ -134,10 +149,24 @@ class Distributed2DAdvectionSolver:
         return w
 
     async def step(self, n: int = 1) -> None:
+        inplace = getattr(self.problem, "inplace_kernels", False)
         for _ in range(n):
             w = await self.exchange_halos()
-            self.u = self.problem.step_interior(w, self.level_x,
-                                                self.level_y, self.dt)
+            if inplace:
+                if self._buf_a is None or self._buf_a.shape != self.u.shape:
+                    self._buf_a = np.empty_like(self.u)
+                    self._buf_b = np.empty_like(self.u)
+                    self._scratch = np.empty_like(self.u)
+                # double buffer: write into whichever private buffer the
+                # state does not currently occupy
+                out = self._buf_b if self.u is self._buf_a else self._buf_a
+                self.problem.step_interior(w, self.level_x, self.level_y,
+                                           self.dt, out=out,
+                                           scratch=self._scratch)
+                self.u = out
+            else:
+                self.u = self.problem.step_interior(w, self.level_x,
+                                                    self.level_y, self.dt)
             self.step_count += 1
             await self.ctx.compute(
                 flops=FLOPS_PER_POINT * self.u.size * self.compute_scale)

@@ -1,10 +1,22 @@
 """Deterministic discrete-event engine driving coroutine tasks in virtual time.
 
-The engine is a priority queue of ``(time, seq, action)`` events.  ``seq`` is
-a monotonically increasing tiebreaker, so two runs of the same program with
-the same inputs produce the *identical* event order — a property the test
-suite checks and which the fault-tolerance experiments rely on for
-reproducible failure timing.
+The engine keeps two event stores that together behave exactly like one
+priority queue ordered by ``(time, seq)``:
+
+* a binary heap of slotted :class:`_Event` records for events scheduled at a
+  *future* virtual time, tie-broken by a monotonically increasing ``seq``;
+* a FIFO deque for events scheduled at the *current* virtual time (zero-
+  duration sleeps, already-resolved futures, ``call_at(now)``).
+
+The split is safe because ``seq`` is global and monotone: every heap entry
+at time ``T`` was necessarily pushed before the clock reached ``T`` (an
+event scheduled once ``now == T`` goes to the deque instead), so all heap
+entries at ``T`` precede all deque entries in ``seq`` order, and the deque
+itself is FIFO.  Draining heap entries at ``now`` first, then the deque,
+therefore reproduces the exact ``(time, seq)`` order of a single heap —
+two runs of the same program produce the *identical* event order, a
+property the test suite checks and which the fault-tolerance experiments
+rely on for reproducible failure timing.
 
 Virtual time is completely decoupled from wall-clock time: a task only
 advances the clock by awaiting :class:`~repro.simkernel.traps.Sleep` (the
@@ -15,12 +27,49 @@ machine model charges compute/IO/network costs this way) or by blocking on a
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Coroutine, Iterable, Optional
 
 from .errors import DeadlockError, SimulationLimitError, TaskFailedError
 from .task import Task, TaskState
-from .traps import SimFuture, Sleep
+from .traps import _TRAP_FUTURE, _TRAP_SLEEP, SimFuture, Sleep
+
+#: event kinds (int tags — compared with ``==`` in the hot loop)
+_EV_RESUME = 0
+_EV_CALL = 1
+
+#: pre-bound enum members — saves an attribute hop per state transition
+_READY = TaskState.READY
+_RUNNING = TaskState.RUNNING
+_WAITING = TaskState.WAITING
+_DONE = TaskState.DONE
+_FAILED = TaskState.FAILED
+_KILLED = TaskState.KILLED
+
+
+class _Event:
+    """Slotted scheduler record.
+
+    ``kind`` selects the payload interpretation:
+
+    * ``_EV_RESUME`` — ``a`` is the task, ``b`` the send value, ``c`` the
+      exception to throw (or None);
+    * ``_EV_CALL`` — ``a`` is the callable, ``b`` its argument tuple.
+    """
+
+    __slots__ = ("time", "seq", "kind", "a", "b", "c")
+
+    def __init__(self, time: float, seq: int, kind: int, a, b, c):
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.a = a
+        self.b = b
+        self.c = c
+
+    def __lt__(self, other: "_Event") -> bool:
+        st, ot = self.time, other.time
+        return st < ot or (st == ot and self.seq < other.seq)
 
 
 class Engine:
@@ -28,10 +77,11 @@ class Engine:
 
     def __init__(self, *, trace: bool = False, max_events: int = 50_000_000):
         self.now: float = 0.0
-        self._seq = itertools.count()
-        self._queue: list = []  # heap of (time, seq, kind, payload)
+        self._seq = 0
+        self._queue: list[_Event] = []          # heap: events at future times
+        self._immediate: deque[_Event] = deque()  # FIFO: events at time `now`
         self._tasks: dict[int, Task] = {}
-        self._tid = itertools.count()
+        self._tid = 0
         self.max_events = max_events
         self.events_processed = 0
         self.trace_enabled = trace
@@ -43,12 +93,13 @@ class Engine:
     # ------------------------------------------------------------------
     def spawn(self, coro: Coroutine, name: str = "", *, at: Optional[float] = None) -> Task:
         """Create a task and schedule its first step at ``at`` (default: now)."""
-        task = Task(self, next(self._tid), name or f"task{len(self._tasks)}", coro)
+        self._tid += 1
+        task = Task(self, self._tid, name or f"task{len(self._tasks)}", coro)
         self._tasks[task.tid] = task
         task.state = TaskState.READY
         start = self.now if at is None else max(at, self.now)
         task.started_at = start
-        self._schedule(start, ("resume", task, None, None))
+        self._schedule(start, _EV_RESUME, task, None, None)
         return task
 
     def create_future(self, label: str = "") -> SimFuture:
@@ -83,27 +134,37 @@ class Engine:
     # ------------------------------------------------------------------
     # event queue
     # ------------------------------------------------------------------
-    def _schedule(self, time: float, event: tuple) -> None:
-        heapq.heappush(self._queue, (time, next(self._seq), event))
+    def _schedule(self, time: float, kind: int, a, b, c) -> None:
+        """Queue an event at virtual time ``time`` (must be >= now).
+
+        Events at exactly ``now`` take the O(1) deque fast path; their FIFO
+        position encodes the same ordering a heap push with the next global
+        seq would produce (see module docstring).
+        """
+        if time <= self.now:
+            self._immediate.append(_Event(self.now, 0, kind, a, b, c))
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, _Event(time, self._seq, kind, a, b, c))
 
     def call_at(self, time: float, fn, *args) -> None:
         """Run ``fn(*args)`` at virtual time ``time`` (>= now)."""
-        self._schedule(max(time, self.now), ("call", fn, args, None))
+        self._schedule(max(time, self.now), _EV_CALL, fn, args, None)
 
     def call_later(self, delay: float, fn, *args) -> None:
         self.call_at(self.now + delay, fn, *args)
 
     def _wake_from_future(self, task: Task, fut: SimFuture) -> None:
         """Called by SimFuture when it resolves with ``task`` blocked on it."""
-        if not task.alive:
+        s = task.state
+        if s is _DONE or s is _FAILED or s is _KILLED:  # task.alive, inlined
             return
-        task.state = TaskState.READY
+        task.state = _READY
         task.waiting_on = None
-        when = max(fut.resolution_time, self.now)
-        if fut.exception() is not None:
-            self._schedule(when, ("resume", task, None, fut.exception()))
-        else:
-            self._schedule(when, ("resume", task, fut._result, None))
+        when = fut._time
+        if when < self.now:
+            when = self.now
+        self._schedule(when, _EV_RESUME, task, fut._result, fut._exception)
 
     # ------------------------------------------------------------------
     # main loop
@@ -111,48 +172,75 @@ class Engine:
     def run(self, *, until: Optional[float] = None, raise_task_failures: bool = True) -> float:
         """Process events until the queue drains (or virtual time ``until``).
 
-        Returns the final virtual time.  Raises :class:`DeadlockError` if the
-        queue drains while live tasks are still blocked, and
-        :class:`TaskFailedError` for the first task that died with an
-        unhandled exception (unless ``raise_task_failures=False``).
+        Returns the final virtual time.  When ``until`` is given and the
+        queue did not drain first, the clock is advanced to ``until`` on
+        return, so deadlines scheduled afterwards via :meth:`call_later`
+        are relative to the requested horizon.  Raises
+        :class:`DeadlockError` if the queue drains while live tasks are
+        still blocked, and :class:`TaskFailedError` for the first task that
+        died with an unhandled exception (unless
+        ``raise_task_failures=False``).
         """
-        while self._queue:
-            time, _seq, event = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise SimulationLimitError(
-                    f"exceeded {self.max_events} events at t={self.now:g}")
-            self.now = max(self.now, time)
-            kind = event[0]
-            if kind == "resume":
-                _, task, value, exc = event
-                self._step(task, value, exc)
-            elif kind == "call":
-                _, fn, args, _ = event
-                fn(*args)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
+        queue = self._queue
+        immediate = self._immediate
+        heappop = heapq.heappop
+        step = self._step
+        processed = self.events_processed
+        limit = self.max_events
+        try:
+            while True:
+                if queue and queue[0].time <= self.now:
+                    # heap entries at the current time predate every deque entry
+                    if until is not None and queue[0].time > until:
+                        break
+                    ev = heappop(queue)
+                elif immediate:
+                    if until is not None and immediate[0].time > until:
+                        break
+                    ev = immediate.popleft()
+                elif queue:
+                    t = queue[0].time
+                    if until is not None and t > until:
+                        break
+                    ev = heappop(queue)
+                    self.now = t
+                else:
+                    break
+                processed += 1
+                if processed > limit:
+                    raise SimulationLimitError(
+                        f"exceeded {limit} events at t={self.now:g}")
+                if ev.kind == _EV_RESUME:
+                    step(ev.a, ev.b, ev.c)
+                elif ev.kind == _EV_CALL:
+                    ev.a(*ev.b)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {ev.kind!r}")
+        finally:
+            # the counter lives in a local inside the loop; publish it even
+            # when an event raises so observers always see the true count
+            self.events_processed = processed
 
+        if until is not None and until > self.now:
+            self.now = until
         if raise_task_failures and self.failed_tasks:
             t = self.failed_tasks[0]
             raise TaskFailedError(t, t.exception) from t.exception
-        blocked = [t for t in self._tasks.values() if t.alive and t.blocked]
-        if blocked and until is None:
-            try:  # best effort: explain who waits on whom (and any cycle)
-                from ..analysis.races import format_wait_for_graph
-                wait_graph = format_wait_for_graph(blocked)
-            except Exception:  # noqa: ULF001 - never mask the deadlock
-                wait_graph = ""
-            raise DeadlockError(blocked, wait_graph=wait_graph)
+        if until is None:
+            blocked = [t for t in self._tasks.values() if t.alive and t.blocked]
+            if blocked:
+                try:  # best effort: explain who waits on whom (and any cycle)
+                    from ..analysis.races import format_wait_for_graph
+                    wait_graph = format_wait_for_graph(blocked)
+                except Exception:  # noqa: ULF001 - never mask the deadlock
+                    wait_graph = ""
+                raise DeadlockError(blocked, wait_graph=wait_graph)
         return self.now
 
     def _step(self, task: Task, value: Any, exc: Optional[BaseException]) -> None:
-        if not task.alive or task.state is not TaskState.READY:
+        if task.state is not _READY:
             return
-        task.state = TaskState.RUNNING
+        task.state = _RUNNING
         if self.trace_enabled:
             self.trace.append((self.now, task.name, "step"))
         try:
@@ -161,32 +249,39 @@ class Engine:
             else:
                 trap = task.coro.send(value)
         except StopIteration as stop:
-            task.state = TaskState.DONE
+            task.state = _DONE
             task.result = stop.value
             task.finished_at = self.now
             task.done_future.set_result(stop.value)
             return
         except BaseException as err:  # task died with unhandled exception
-            task.state = TaskState.FAILED
+            task.state = _FAILED
             task.exception = err
             task.finished_at = self.now
             self.failed_tasks.append(task)
             task.done_future.set_exception(TaskFailedError(task, err))
             return
 
-        if isinstance(trap, Sleep):
-            task.state = TaskState.READY
-            task.waiting_on = trap
-            self._schedule(self.now + trap.duration, ("resume", task, None, None))
-        elif isinstance(trap, SimFuture):
-            if trap.done:
-                task.state = TaskState.READY
-                self._wake_from_future(task, trap)
-            else:
-                task.state = TaskState.WAITING
-                task.waiting_on = trap
-                trap._waiters.append(task)
-        else:
+        # type-tag dispatch: cheaper than an isinstance chain, and subclasses
+        # of Sleep/SimFuture inherit the tag so they stay legal traps
+        try:
+            tag = trap._trap_tag
+        except AttributeError:
             raise RuntimeError(
                 f"task {task.name} awaited unsupported object {trap!r}; "
-                "only Sleep and SimFuture are legal traps")
+                "only Sleep and SimFuture are legal traps") from None
+        if tag == _TRAP_SLEEP:
+            task.state = _READY
+            task.waiting_on = trap
+            self._schedule(self.now + trap.duration, _EV_RESUME, task, None, None)
+        elif tag == _TRAP_FUTURE:
+            if trap._done:
+                task.state = _READY
+                self._wake_from_future(task, trap)
+            else:
+                task.state = _WAITING
+                task.waiting_on = trap
+                trap._waiters.append(task)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"task {task.name} awaited object with bad trap tag {tag!r}")

@@ -16,11 +16,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+#: trap type tags — the engine's hot loop dispatches on these class
+#: attributes instead of an ``isinstance`` chain; subclasses inherit them
+_TRAP_SLEEP = 1
+_TRAP_FUTURE = 2
+
 
 class Sleep:
     """Awaitable that suspends the current task for ``duration`` virtual seconds."""
 
     __slots__ = ("duration",)
+
+    _trap_tag = _TRAP_SLEEP
 
     def __init__(self, duration: float):
         if duration < 0:
@@ -46,19 +53,19 @@ class SimFuture:
     __slots__ = ("engine", "label", "_done", "_result", "_exception", "_time",
                  "_waiters", "_callbacks", "waits_for")
 
+    _trap_tag = _TRAP_FUTURE
+
     def __init__(self, engine, label: str = ""):
+        # NB: ``_result``/``_exception``/``_time`` are written by
+        # ``_resolve`` before anything reads them, and ``waits_for`` is an
+        # optional annotation higher layers attach (read back with
+        # ``getattr(..., None)``) — leaving all four unset keeps future
+        # creation, a per-message cost, to the minimum number of stores.
         self.engine = engine
         self.label = label
-        #: optional dependency descriptor set by higher layers (the MPI
-        #: layer records what operation this future stands for), consumed
-        #: by the wait-for-graph deadlock explainer in ``repro.analysis``
-        self.waits_for: Optional[dict] = None
         self._done = False
-        self._result: Any = None
-        self._exception: Optional[BaseException] = None
-        self._time: float = 0.0
         self._waiters: list = []  # Tasks blocked on this future
-        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        self._callbacks: Optional[list] = None  # lazily allocated
 
     # -- inspection -------------------------------------------------------
     @property
@@ -97,17 +104,24 @@ class SimFuture:
         self._result = value
         self._exception = exc
         self._time = self.engine.now if at is None else max(at, self.engine.now)
-        waiters, self._waiters = self._waiters, []
-        for task in waiters:
-            self.engine._wake_from_future(task, self)
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            wake = self.engine._wake_from_future
+            for task in waiters:
+                wake(task, self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for cb in callbacks:
+                cb(self)
 
     def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
         """Run ``cb(self)`` when resolved (immediately if already done)."""
         if self._done:
             cb(self)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 

@@ -1,0 +1,232 @@
+"""Property test: the indexed MessageBoard matches exactly like a linear scan.
+
+The board's bucketed fast paths (exact-key dict hits, the wildcard-counter
+shortcut, the four-candidate-key scan) are pure optimisations — the
+observable matching behaviour must be identical to the historical reference
+semantics: receives match posted messages by earliest ``(arrival, seq)``,
+messages wake the earliest-registered compatible receiver, and failures
+fire in registration order.
+
+Randomised seeded workloads drive the real board and a straightforward
+linear-scan reference implementation through identical operation sequences
+(posts, exact and wildcard receives, virtual-time advances, rank deaths)
+and assert that every match, every failure, and the leftover board state
+agree event-for-event.
+"""
+
+import random
+
+import pytest
+
+from repro.mpi.errors import ANY_SOURCE, ANY_TAG, ProcFailedError
+from repro.mpi.matching import Message, MessageBoard, PendingRecv
+
+N_RANKS = 4
+N_OPS = 600
+
+
+class _FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _RecordingFuture:
+    """Stands in for a SimFuture; records how the board resolved it."""
+
+    def __init__(self, log, rid):
+        self.log = log
+        self.rid = rid
+
+    def set_result(self, msg, at=None):
+        self.log.append(("match", self.rid, msg.seq, msg.src, msg.tag, at))
+
+    def set_exception(self, exc, at=None):
+        self.log.append(("fail", self.rid, type(exc).__name__, at))
+
+
+class LinearBoard:
+    """Reference implementation: flat lists, linear scans, no indexing."""
+
+    def __init__(self, engine, detection_latency):
+        self.engine = engine
+        self.detection_latency = detection_latency
+        self._seq = 0
+        self._posted = []   # Message, in post order
+        #: dst -> PendingRecv list in registration order.  Failure sweeps are
+        #: per-destination (matching the board's contract), so the reference
+        #: keys waiters by destination; a destination's entry disappears only
+        #: when a failure sweep empties it, mirroring the board.
+        self._waiting = {}
+
+    @staticmethod
+    def _compatible(source, tag, src, mtag):
+        return ((source == ANY_SOURCE or source == src) and
+                (tag == ANY_TAG or tag == mtag))
+
+    def post(self, src, dst, tag, payload, arrival):
+        self._seq += 1
+        msg = Message(src, dst, tag, payload, arrival, self._seq)
+        waiters = self._waiting.get(dst, ())
+        for i, recv in enumerate(waiters):
+            if self._compatible(recv.source, recv.tag, src, tag):
+                del waiters[i]
+                recv.future.set_result(msg, at=arrival)
+                return
+        self._posted.append(msg)
+
+    def register_recv(self, dst, source, tag, future, dead_ranks):
+        best_i = None
+        best = None
+        for i, msg in enumerate(self._posted):
+            if msg.dst == dst and self._compatible(source, tag,
+                                                   msg.src, msg.tag):
+                cand = (msg.arrival, msg.seq)
+                if best is None or cand < best:
+                    best = cand
+                    best_i = i
+        if best_i is not None:
+            msg = self._posted.pop(best_i)
+            future.set_result(msg, at=max(msg.arrival, self.engine.now))
+            return
+        if source != ANY_SOURCE and source in dead_ranks:
+            future.set_exception(
+                ProcFailedError(f"recv source rank {source} is dead",
+                                failed_ranks=(source,)),
+                at=self.engine.now + self.detection_latency)
+            return
+        self._seq += 1
+        self._waiting.setdefault(dst, []).append(
+            PendingRecv(dst, source, tag, future, self._seq))
+
+    def on_rank_death(self, rank, now):
+        at = now + self.detection_latency
+        for dst in list(self._waiting):
+            waiters = self._waiting[dst]
+            if not waiters:
+                continue
+            doomed = [r for r in waiters if r.source == rank]
+            if not doomed:
+                continue
+            remaining = [r for r in waiters if r.source != rank]
+            if remaining:
+                self._waiting[dst] = remaining
+            else:
+                del self._waiting[dst]
+            for recv in doomed:
+                recv.future.set_exception(
+                    ProcFailedError(f"recv source rank {rank} died",
+                                    failed_ranks=(rank,)),
+                    at=at)
+
+    # flat views mirroring MessageBoard's diagnostic properties
+    @property
+    def posted(self):
+        out = {}
+        for msg in sorted(self._posted, key=lambda m: m.seq):
+            out.setdefault(msg.dst, []).append(msg)
+        return out
+
+    @property
+    def waiting(self):
+        return {dst: list(waiters)
+                for dst, waiters in self._waiting.items() if waiters}
+
+
+def _posted_view(board):
+    return {dst: [(m.src, m.tag, m.arrival, m.seq) for m in msgs]
+            for dst, msgs in board.posted.items() if msgs}
+
+
+def _waiting_view(board):
+    return {dst: [(r.source, r.tag, r.seq) for r in recvs]
+            for dst, recvs in board.waiting.items() if recvs}
+
+
+def _run_workload(seed, with_deaths):
+    rng = random.Random(seed)
+    engine = _FakeEngine()
+    real = MessageBoard(engine, detection_latency=0.25)
+    ref = LinearBoard(engine, detection_latency=0.25)
+    real_log, ref_log = [], []
+    dead = set()
+    rid = 0
+
+    for _ in range(N_OPS):
+        roll = rng.random()
+        if roll < 0.10:
+            # arrivals equal the current time, so advancing the clock keeps
+            # the board's arrival-monotonicity invariant automatically
+            engine.now += rng.choice([0.0, 0.25, 1.0])
+        elif with_deaths and roll < 0.13 and len(dead) < N_RANKS - 1:
+            rank = rng.randrange(N_RANKS)
+            if rank not in dead:
+                dead.add(rank)
+                real.on_rank_death(rank, engine.now)
+                ref.on_rank_death(rank, engine.now)
+        elif roll < 0.55:
+            src = rng.randrange(N_RANKS)
+            dst = rng.randrange(N_RANKS)
+            tag = rng.randrange(3)
+            real.post(src, dst, tag, None, engine.now)
+            ref.post(src, dst, tag, None, engine.now)
+        else:
+            dst = rng.randrange(N_RANKS)
+            source = rng.choice([ANY_SOURCE] + list(range(N_RANKS)))
+            tag = rng.choice([ANY_TAG, 0, 1, 2])
+            rid += 1
+            real.register_recv(dst, source, tag,
+                               _RecordingFuture(real_log, rid),
+                               frozenset(dead))
+            ref.register_recv(dst, source, tag,
+                              _RecordingFuture(ref_log, rid),
+                              frozenset(dead))
+        assert real_log == ref_log, f"diverged at op {len(real_log)}"
+
+    assert real_log == ref_log
+    assert _posted_view(real) == _posted_view(ref)
+    assert _waiting_view(real) == _waiting_view(ref)
+    return real_log
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_indexed_matching_equals_linear_scan(seed):
+    log = _run_workload(seed, with_deaths=False)
+    assert any(entry[0] == "match" for entry in log)
+
+
+@pytest.mark.parametrize("seed", range(10, 16))
+def test_indexed_matching_equals_linear_scan_with_deaths(seed):
+    _run_workload(seed, with_deaths=True)
+
+
+def test_wildcard_tie_break_prefers_earliest_arrival():
+    """ANY_SOURCE/ANY_TAG take the earliest-arrival posted message even when
+    a later bucket was created first."""
+    engine = _FakeEngine()
+    board = MessageBoard(engine, detection_latency=0.0)
+    log = []
+    board.post(src=2, dst=0, tag=1, payload=None, arrival=0.0)
+    engine.now = 1.0
+    board.post(src=1, dst=0, tag=0, payload=None, arrival=1.0)
+    board.register_recv(0, ANY_SOURCE, ANY_TAG,
+                        _RecordingFuture(log, 1), frozenset())
+    board.register_recv(0, ANY_SOURCE, ANY_TAG,
+                        _RecordingFuture(log, 2), frozenset())
+    assert [(e[0], e[1], e[3], e[4]) for e in log] == [
+        ("match", 1, 2, 1),  # arrival 0.0 message (src=2, tag=1) first
+        ("match", 2, 1, 0),
+    ]
+
+
+def test_post_wakes_earliest_registered_receiver():
+    """A message wakes the earliest-registered compatible receiver, even when
+    an exact-key receiver registered later."""
+    engine = _FakeEngine()
+    board = MessageBoard(engine, detection_latency=0.0)
+    log = []
+    board.register_recv(0, ANY_SOURCE, ANY_TAG,
+                        _RecordingFuture(log, 1), frozenset())
+    board.register_recv(0, 3, 7, _RecordingFuture(log, 2), frozenset())
+    board.post(src=3, dst=0, tag=7, payload=None, arrival=0.0)
+    board.post(src=3, dst=0, tag=7, payload=None, arrival=0.0)
+    assert [e[1] for e in log] == [1, 2]

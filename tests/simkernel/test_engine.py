@@ -287,3 +287,28 @@ def test_run_until_pauses_clock():
     assert hits == [1.0, 2.0, 3.0]
     eng.run()
     assert hits[-1] == 10.0
+
+
+def test_run_until_advances_clock_to_horizon():
+    """run(until=) must leave now == until even when the queue drains or
+    breaks early, so deadlines scheduled afterwards via call_later are
+    relative to the requested horizon (regression test)."""
+    eng = Engine()
+
+    async def once():
+        await Sleep(1.0)
+
+    eng.spawn(once())
+    assert eng.run(until=5.0) == 5.0
+    assert eng.now == 5.0
+
+    fired = []
+    eng.call_later(1.0, lambda: fired.append(eng.now))
+    eng.run(until=10.0)
+    assert fired == [6.0]
+    assert eng.now == 10.0
+
+    # an engine with no events at all still advances to the horizon
+    eng2 = Engine()
+    assert eng2.run(until=2.5) == 2.5
+    assert eng2.now == 2.5
