@@ -1,0 +1,30 @@
+"""Analyzer performance: full-repo lint must stay interactive.
+
+The dataflow rules solve several fixpoints per function plus an
+interprocedural summary pass per module; this guard keeps the whole
+``python -m repro lint`` run (the CI self-lint) under 10 seconds so the
+analyzer stays cheap enough to run on every commit.
+"""
+
+import pytest
+
+from repro.analysis import default_lint_paths, lint_paths
+from repro.analysis.linter import _iter_py_files
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_full_repo_lint_under_10s(benchmark):
+    paths = default_lint_paths()
+    n_files = len(_iter_py_files(paths))
+    assert n_files > 50, "default lint paths lost most of the package?"
+
+    violations = benchmark.pedantic(lambda: lint_paths(paths),
+                                    rounds=3, iterations=1,
+                                    warmup_rounds=1)
+    assert violations == [], "\n".join(str(v) for v in violations)
+    secs = benchmark.stats["mean"]
+    rate = n_files / secs
+    print(f"\n{n_files} files in {secs:.2f}s ({rate:,.0f} files/s)")
+    # hard ceiling from the CI contract; the reference machine does the
+    # full tree in well under a second, so 10s is pure headroom
+    assert secs < 10.0

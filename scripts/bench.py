@@ -17,10 +17,14 @@ the repo so regressions are visible in review diffs:
 Usage::
 
     PYTHONPATH=src python scripts/bench.py [-o BENCH_substrate.json]
+    PYTHONPATH=src python scripts/bench.py --smoke   # CI: runs, no JSON
 
 Each measurement is the best of ``--repeats`` runs (default 3) — wall
 time of the fastest run, which is the least noisy estimator on a shared
-machine.
+machine.  ``--smoke`` shrinks every workload to a few iterations, runs
+each once and skips the JSON write: it proves the benchmark harness
+still executes (imports, workloads, stat plumbing) in seconds, without
+producing numbers anyone should read.
 """
 
 from __future__ import annotations
@@ -126,7 +130,18 @@ def main(argv=None) -> int:
                     help="output JSON path (default: %(default)s)")
     ap.add_argument("--repeats", type=int, default=3,
                     help="runs per workload; best is kept (default 3)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads, one repeat, no JSON write; "
+                         "exercises the harness for CI")
     args = ap.parse_args(argv)
+
+    if args.smoke:
+        global N_PAIRS, N_ROUNDS, N_COLL_RANKS, N_COLL_ROUNDS
+        global SOLVER_LEVEL, N_SOLVER_STEPS
+        N_PAIRS, N_ROUNDS = 2, 10
+        N_COLL_RANKS, N_COLL_ROUNDS = 4, 5
+        SOLVER_LEVEL, N_SOLVER_STEPS = 5, 10
+        args.repeats = 1
 
     results = {
         "python": platform.python_version(),
@@ -142,11 +157,15 @@ def main(argv=None) -> int:
     results.update(bench_collectives(args.repeats))
     results.update(bench_solver(args.repeats))
 
-    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
     for key in ("msg_per_s", "events_per_s", "coll_rounds_per_s",
                 "solver_steps_per_s"):
         print(f"{key:>20}: {results[key]:,}")
-    print(f"wrote {args.output}")
+    if args.smoke:
+        print("smoke run ok (numbers above are not representative; "
+              "no JSON written)")
+    else:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
     return 0
 
 

@@ -2,9 +2,11 @@
 """Run the ULF lint over the repository (same checks as
 ``python -m repro lint``; rule catalog in docs/analysis.md).
 
-Usage: python scripts/lint.py [paths ...]
+Usage: python scripts/lint.py [paths ...] [--format json]
+                              [--select RULE] [--ignore RULE] [--rules]
 
-Exits non-zero on violations.  The lint also runs inside tier-1
+All flags pass through to ``repro lint``.  Exit codes: 0 clean,
+1 violations, 2 usage error.  The lint also runs inside tier-1
 (`tests/analysis/test_lint.py::test_repro_package_is_lint_clean` keeps
 the package clean on every pytest run).
 """

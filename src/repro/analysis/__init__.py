@@ -2,8 +2,10 @@
 
 Three analyzers (see ``docs/analysis.md``):
 
-* :mod:`repro.analysis.linter` — AST lint enforcing ULFM/simulation
-  idioms (rules ULF001-ULF005), exposed as ``python -m repro lint``;
+* :mod:`repro.analysis.linter` — AST + dataflow lint enforcing
+  ULFM/simulation idioms (rules ULF001-ULF010), exposed as
+  ``python -m repro lint``; the flow-sensitive rules are built on the
+  CFG/fixpoint engine in :mod:`repro.analysis.dataflow`;
 * :mod:`repro.analysis.protocol` — replay of a recorded trace against the
   paper's revoke/shrink/spawn/merge/split recovery state machine,
   exposed as ``python -m repro analyze-trace``;
@@ -16,9 +18,10 @@ resources; :mod:`repro.analysis.pytest_plugin` wires the leak and race
 checks into the mpi-layer test suite.
 """
 
+from .dataflow import CFG, build_cfg, solve
 from .events import ParsedEvent, TruncatedTraceError, parse_events
-from .linter import (LintViolation, RULES, default_lint_paths, format_report,
-                     lint_file, lint_paths)
+from .linter import (LintViolation, RULES, SEVERITY, default_lint_paths,
+                     format_report, lint_file, lint_paths)
 from .protocol import (ProtocolViolation, RecoveryEpisode, check_protocol,
                        format_violations, recovery_episodes)
 from .races import (MessageRace, build_wait_for_graph, find_message_races,
@@ -27,8 +30,9 @@ from .runtime import LeakReport, check_runtime_leaks
 
 __all__ = [
     "ParsedEvent", "TruncatedTraceError", "parse_events",
-    "LintViolation", "RULES", "default_lint_paths", "format_report",
-    "lint_file", "lint_paths",
+    "CFG", "build_cfg", "solve",
+    "LintViolation", "RULES", "SEVERITY", "default_lint_paths",
+    "format_report", "lint_file", "lint_paths",
     "ProtocolViolation", "RecoveryEpisode", "check_protocol",
     "format_violations", "recovery_episodes",
     "MessageRace", "build_wait_for_graph", "find_message_races",

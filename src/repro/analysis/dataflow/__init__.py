@@ -1,0 +1,28 @@
+"""Dataflow engine behind the flow-sensitive ULF rules (ULF005-ULF010).
+
+Layout:
+
+* :mod:`~repro.analysis.dataflow.cfg` — CFG builder for Python functions
+  (branches, loops, try/except/finally, with, match, async constructs);
+* :mod:`~repro.analysis.dataflow.engine` — direction-agnostic worklist
+  fixpoint solver over small lattice/transfer strategy objects;
+* :mod:`~repro.analysis.dataflow.typestate` — communicator
+  VALID/REVOKED/FREED typestate (ULF007/ULF008);
+* :mod:`~repro.analysis.dataflow.collmatch` — rank-taint + backward
+  collective matching (ULF006) and tag constancy (ULF009);
+* :mod:`~repro.analysis.dataflow.ckptsync` — interprocedural checkpoint
+  synchronisation (ULF005/ULF010);
+* :mod:`~repro.analysis.dataflow.driver` — per-module orchestration,
+  called by :func:`repro.analysis.linter.lint_file`.
+
+See ``docs/analysis.md`` ("How the dataflow engine works") for the
+design rationale and the rule catalog.
+"""
+
+from .cfg import CFG, Block, build_cfg, walk_shallow
+from .driver import analyze_module, module_int_constants
+from .engine import Analysis, solve
+
+__all__ = ["CFG", "Block", "build_cfg", "walk_shallow",
+           "Analysis", "solve",
+           "analyze_module", "module_int_constants"]

@@ -1,0 +1,461 @@
+"""Control-flow graphs for Python functions.
+
+The flow-sensitive ULF rules (ULF005-ULF010) need to reason about *paths*
+— "is every path to this checkpoint write synchronised?", "does this
+collective run on every rank-dependent branch?" — which an AST walk
+cannot answer.  :func:`build_cfg` lowers one ``def``/``async def`` body
+into a graph of basic blocks connected by typed edges, covering the
+control constructs the simulator's code actually uses: ``if``/``elif``,
+``while``/``for`` (with ``else``), ``try``/``except``/``else``/
+``finally``, ``break``/``continue``/``return``/``raise``, ``with``, and
+``match``.  Async constructs need no special lowering: ``await`` does not
+transfer control, so awaits stay inside their statement (analyses find
+them with :func:`walk_shallow`), and async generators are plain functions
+whose ``yield`` statements are ordinary block members.
+
+Deliberate approximations (all conservative — they only *add* paths):
+
+* one ``finally`` block instance serves every route through it (normal
+  fall-through, ``return``, ``break``, ``continue``, exception
+  propagation), so its successors are the union of those continuations;
+* any block inside a ``try`` body may raise, modelled as one ``exc`` edge
+  per handler from the block (not per statement);
+* unreachable code after a ``return``/``raise``/``break`` still gets
+  blocks and edges, but no incoming edge from live code — its dataflow
+  in-state stays bottom, so it cannot pollute results.
+
+``CFG.describe()`` renders a stable, line-oriented dump used by the
+golden-graph tests in ``tests/analysis/test_dataflow.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Block", "CFG", "build_cfg", "walk_shallow"]
+
+#: scopes ``walk_shallow`` refuses to descend into: their bodies run at
+#: another time (or not at all) and belong to a different CFG
+_NEW_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+               ast.Lambda)
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` limited to the current scope.
+
+    Yields ``node`` and its descendants, but does not enter nested
+    function/class/lambda bodies (a nested ``def``'s statements execute
+    when *it* is called, not where it is defined).  Transfer functions
+    must use this instead of ``ast.walk`` or they attribute a closure's
+    effects to its definition site.
+    """
+    yield node
+    if isinstance(node, _NEW_SCOPES):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from walk_shallow(child)
+
+
+class Block:
+    """One basic block: a straight-line run of statements.
+
+    ``test`` is set on branch blocks (the ``if``/``while`` condition, the
+    ``for`` iterable, the ``match`` subject) and ``branch`` names the
+    owning compound statement.  Successor edges carry a kind:
+
+    ========  ========================================================
+    next      unconditional fall-through
+    true      branch taken (loop entered / case matched)
+    false     branch not taken (loop exhausted)
+    loop      back edge to a loop head
+    break     ``break`` to the code after the loop
+    continue  ``continue`` to the loop head
+    return    ``return`` to the function exit
+    raise     explicit ``raise`` to handler or exit
+    exc       implicit may-raise from inside a ``try`` body
+    finally   routing into/out of a ``finally`` suite
+    ========  ========================================================
+    """
+
+    def __init__(self, bid: int, label: str):
+        self.bid = bid
+        self.label = label
+        self.stmts: List[ast.stmt] = []
+        self.test: Optional[ast.expr] = None
+        self.branch: Optional[ast.stmt] = None
+        self.succs: List[Tuple[int, str]] = []
+
+    def add_succ(self, target: int, kind: str) -> None:
+        if (target, kind) not in self.succs:
+            self.succs.append((target, kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block B{self.bid} {self.label!r}>"
+
+
+class CFG:
+    """The graph for one function; blocks are keyed by id, ``entry`` and
+    ``exit`` are synthetic empty blocks."""
+
+    def __init__(self, func, name: str):
+        self.func = func
+        self.name = name
+        self.blocks: Dict[int, Block] = {}
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def preds(self) -> Dict[int, List[Tuple[int, str]]]:
+        """Reverse adjacency: block id -> [(pred id, edge kind)]."""
+        out: Dict[int, List[Tuple[int, str]]] = {b: [] for b in self.blocks}
+        for bid, block in self.blocks.items():
+            for target, kind in block.succs:
+                out[target].append((bid, kind))
+        return out
+
+    def describe(self) -> str:
+        """Stable text dump for golden tests: one line per block, in id
+        order, statements as ``ast.unparse`` one-liners."""
+        lines = []
+        for bid in sorted(self.blocks):
+            b = self.blocks[bid]
+            parts = [f"B{bid}[{b.label}]"]
+            for stmt in b.stmts:
+                src = ast.unparse(stmt).split("\n")[0]
+                parts.append(f"  {src}")
+            if b.test is not None:
+                parts.append(f"  ?{ast.unparse(b.test)}")
+            edges = " ".join(f"{kind}->B{t}" for t, kind in b.succs)
+            parts.append(f"  => {edges}" if edges else "  => (none)")
+            lines.append("\n".join(parts))
+        return "\n".join(lines)
+
+
+class _Frame:
+    """Exception-routing frame for one ``try``: where an exception raised
+    inside the body goes (handler entries, then ``finally``)."""
+
+    def __init__(self, handler_entries: List[int],
+                 finally_entry: Optional[int]):
+        self.handler_entries = handler_entries
+        self.finally_entry = finally_entry
+
+
+class _Builder:
+    def __init__(self, func, name: str):
+        self.cfg = CFG(func, name)
+        self._counter = 0
+        self.frames: List[_Frame] = []          # innermost last
+        #: (continue target, break target) per enclosing loop
+        self.loops: List[Tuple[int, int]] = []
+        #: finally entries to route non-local exits through, innermost last
+        self.finallies: List[int] = []
+        #: len(self.finallies) snapshot at each loop entry (break/continue
+        #: must only traverse finallies *inside* their loop)
+        self._loop_finally_marks: List[int] = []
+        #: (finally entry, continuation target, kind) resolved at the end
+        self._deferred_finally_exits: List[Tuple[int, int, str]] = []
+        #: finally entry -> its own exit block, filled when built
+        self._finally_exits: Dict[int, int] = {}
+
+    # -- block plumbing --------------------------------------------------
+    def new_block(self, label: str) -> Block:
+        b = Block(self._counter, label)
+        self.cfg.blocks[b.bid] = b
+        self._counter += 1
+        return b
+
+    def _new_live_block(self, label: str) -> Block:
+        """A block created inside the current try frames: may raise."""
+        b = self.new_block(label)
+        self._attach_exc_edges(b)
+        return b
+
+    def _attach_exc_edges(self, b: Block) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None:
+            return
+        for h in frame.handler_entries:
+            b.add_succ(h, "exc")
+        if frame.finally_entry is not None and not frame.handler_entries:
+            b.add_succ(frame.finally_entry, "exc")
+
+    def _route_through_finallies(self, source: Block, target: int,
+                                 kind: str, depth: int = 0) -> None:
+        """Edge from ``source`` to ``target`` detouring through any
+        ``finally`` suites between them (``depth`` = how many innermost
+        finallies the jump escapes; 0 = all of them)."""
+        pending = self.finallies[depth:]
+        if not pending:
+            source.add_succ(target, kind)
+            return
+        # innermost finally runs first, then each outer one, then the jump
+        source.add_succ(pending[-1], "finally")
+        for inner, outer in zip(reversed(pending), reversed(pending[:-1])):
+            self._deferred_finally_exits.append((inner, outer, "finally"))
+        self._deferred_finally_exits.append((pending[0], target, kind))
+
+    # -- build -----------------------------------------------------------
+    def build(self) -> CFG:
+        entry = self.new_block("entry")
+        exit_ = self.new_block("exit")
+        self.cfg.entry, self.cfg.exit = entry.bid, exit_.bid
+
+        body = self.new_block("body")
+        entry.add_succ(body.bid, "next")
+        last = self.visit_body(self.cfg.func.body, body)
+        if last is not None:
+            last.add_succ(exit_.bid, "next")
+        for fentry, target, kind in self._deferred_finally_exits:
+            fexit = self._finally_exits.get(fentry, fentry)
+            self.cfg.blocks[fexit].add_succ(target, kind)
+        return self.cfg
+
+    def visit_body(self, stmts: List[ast.stmt],
+                   cur: Optional[Block]) -> Optional[Block]:
+        """Lower a statement list starting in ``cur``; returns the block
+        normal control flow ends in, or None if it cannot fall through."""
+        for stmt in stmts:
+            if cur is None:  # dead code after return/raise/break
+                cur = self.new_block("unreachable")
+            cur = self.visit_stmt(stmt, cur)
+        return cur
+
+    def visit_stmt(self, stmt: ast.stmt, cur: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._visit_while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._visit_with(stmt, cur)
+        if isinstance(stmt, ast.Match):
+            return self._visit_match(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            cur.stmts.append(stmt)
+            self._route_through_finallies(cur, self.cfg.exit, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            cur.stmts.append(stmt)
+            frame = self.frames[-1] if self.frames else None
+            if frame is not None and frame.handler_entries:
+                for h in frame.handler_entries:
+                    cur.add_succ(h, "raise")
+            else:
+                self._route_through_finallies(cur, self.cfg.exit, "raise")
+            return None
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            _, after = self.loops[-1]
+            self._route_through_finallies(cur, after, "break",
+                                          depth=self._loop_finally_depth())
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            head, _ = self.loops[-1]
+            self._route_through_finallies(cur, head, "continue",
+                                          depth=self._loop_finally_depth())
+            return None
+        cur.stmts.append(stmt)
+        return cur
+
+    def _loop_finally_depth(self) -> int:
+        """How many entries of ``self.finallies`` were already present
+        when the innermost loop started (those are *outside* the loop and
+        must not intercept its break/continue)."""
+        return self._loop_finally_marks[-1] if self._loop_finally_marks else 0
+
+    # -- compound statements ---------------------------------------------
+    def _visit_if(self, stmt: ast.If, cur: Block) -> Optional[Block]:
+        cur.test = stmt.test
+        cur.branch = stmt
+        after = None
+
+        tblk = self._new_live_block("if.then")
+        cur.add_succ(tblk.bid, "true")
+        tend = self.visit_body(stmt.body, tblk)
+
+        if stmt.orelse:
+            fblk = self._new_live_block("if.else")
+            cur.add_succ(fblk.bid, "false")
+            fend = self.visit_body(stmt.orelse, fblk)
+        else:
+            fend, fblk = None, None
+
+        ends = [e for e in (tend, fend) if e is not None]
+        if fblk is None or ends:
+            after = self._new_live_block("if.after")
+            if fblk is None:
+                cur.add_succ(after.bid, "false")
+            for e in ends:
+                e.add_succ(after.bid, "next")
+        return after
+
+    def _visit_while(self, stmt: ast.While, cur: Block) -> Optional[Block]:
+        head = self._new_live_block("while.head")
+        cur.add_succ(head.bid, "next")
+        head.test = stmt.test
+        head.branch = stmt
+        after = self._new_live_block("while.after")
+
+        body = self._new_live_block("while.body")
+        head.add_succ(body.bid, "true")
+        self.loops.append((head.bid, after.bid))
+        self._loop_finally_marks.append(len(self.finallies))
+        bend = self.visit_body(stmt.body, body)
+        self._loop_finally_marks.pop()
+        self.loops.pop()
+        if bend is not None:
+            bend.add_succ(head.bid, "loop")
+
+        if stmt.orelse:  # runs on normal exhaustion, skipped by break
+            eblk = self._new_live_block("while.else")
+            head.add_succ(eblk.bid, "false")
+            eend = self.visit_body(stmt.orelse, eblk)
+            if eend is not None:
+                eend.add_succ(after.bid, "next")
+        else:
+            head.add_succ(after.bid, "false")
+        return after
+
+    def _visit_for(self, stmt, cur: Block) -> Optional[Block]:
+        head = self._new_live_block("for.head")
+        cur.add_succ(head.bid, "next")
+        # lower the per-iteration binding to `target = iter` so transfer
+        # functions see the assignment (the element, not the iterable, is
+        # what's bound — close enough for taint/reset purposes)
+        binding = ast.Assign(targets=[stmt.target], value=stmt.iter)
+        ast.copy_location(binding, stmt)
+        ast.fix_missing_locations(binding)
+        head.stmts.append(binding)
+        head.test = stmt.iter
+        head.branch = stmt
+        after = self._new_live_block("for.after")
+
+        body = self._new_live_block("for.body")
+        head.add_succ(body.bid, "true")
+        self.loops.append((head.bid, after.bid))
+        self._loop_finally_marks.append(len(self.finallies))
+        bend = self.visit_body(stmt.body, body)
+        self._loop_finally_marks.pop()
+        self.loops.pop()
+        if bend is not None:
+            bend.add_succ(head.bid, "loop")
+
+        if stmt.orelse:
+            eblk = self._new_live_block("for.else")
+            head.add_succ(eblk.bid, "false")
+            eend = self.visit_body(stmt.orelse, eblk)
+            if eend is not None:
+                eend.add_succ(after.bid, "next")
+        else:
+            head.add_succ(after.bid, "false")
+        return after
+
+    def _visit_with(self, stmt, cur: Block) -> Optional[Block]:
+        # lower each `with e as v:` item to `v = e` (or a bare
+        # expression-statement when there is no target) so analyses see
+        # the binding, then inline the body
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                lowered: ast.stmt = ast.Assign(
+                    targets=[item.optional_vars], value=item.context_expr)
+            else:
+                lowered = ast.Expr(value=item.context_expr)
+            ast.copy_location(lowered, stmt)
+            ast.fix_missing_locations(lowered)
+            cur.stmts.append(lowered)
+        return self.visit_body(stmt.body, cur)
+
+    def _visit_match(self, stmt: ast.Match, cur: Block) -> Optional[Block]:
+        cur.test = stmt.subject
+        cur.branch = stmt
+        after = self._new_live_block("match.after")
+        fell_through = True
+        for case in stmt.cases:
+            arm = self._new_live_block("match.case")
+            cur.add_succ(arm.bid, "true")
+            end = self.visit_body(case.body, arm)
+            if end is not None:
+                end.add_succ(after.bid, "next")
+            # a bare wildcard case means no fall-through past the match
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None and case.guard is None):
+                fell_through = False
+        if fell_through:
+            cur.add_succ(after.bid, "false")
+        return after
+
+    def _visit_try(self, stmt: ast.Try, cur: Block) -> Optional[Block]:
+        after = self.new_block("try.after")
+        self._attach_exc_edges(after)
+
+        handler_entries: List[Block] = []
+        for handler in stmt.handlers:
+            h = self.new_block("except")
+            self._attach_exc_edges(h)  # uncaught re-raise goes outward
+            h.branch = handler  # the ExceptHandler node, for analyses
+            handler_entries.append(h)
+
+        fentry: Optional[Block] = None
+        if stmt.finalbody:
+            fentry = self.new_block("finally")
+            self._attach_exc_edges(fentry)
+
+        # --- body: every block inside may jump to the handlers ----------
+        self.frames.append(_Frame([h.bid for h in handler_entries],
+                                  fentry.bid if fentry else None))
+        if fentry is not None:
+            self.finallies.append(fentry.bid)
+        body = self._new_live_block("try.body")
+        cur.add_succ(body.bid, "next")
+        bend = self.visit_body(stmt.body, body)
+        self.frames.pop()
+
+        # --- else: runs after a clean body, outside the handlers' reach -
+        if stmt.orelse:
+            eblk = self._new_live_block("try.else")
+            if bend is not None:
+                bend.add_succ(eblk.bid, "next")
+            bend = self.visit_body(stmt.orelse, eblk)
+
+        # --- handlers: exceptions here propagate outward, but still
+        #     traverse this try's finally ------------------------------
+        hends = []
+        for h in handler_entries:
+            hends.append(self.visit_body(stmt.handlers[
+                handler_entries.index(h)].body, h))
+
+        if fentry is not None:
+            self.finallies.pop()
+
+        # --- finally: built once; successors = union of continuations --
+        if fentry is not None:
+            fend = self.visit_body(stmt.finalbody, fentry)
+            fexit = fend if fend is not None else fentry
+            self._finally_exits[fentry.bid] = fexit.bid
+            for end in [bend] + hends:
+                if end is not None:
+                    end.add_succ(fentry.bid, "finally")
+            if fend is not None:
+                fend.add_succ(after.bid, "next")
+                # exception propagation continues outward after finally
+                frame = self.frames[-1] if self.frames else None
+                if frame is not None and frame.handler_entries:
+                    for hh in frame.handler_entries:
+                        fend.add_succ(hh, "exc")
+        else:
+            for end in [bend] + hends:
+                if end is not None:
+                    end.add_succ(after.bid, "next")
+        return after
+
+
+def build_cfg(func, name: Optional[str] = None) -> CFG:
+    """Build the CFG of one ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg wants a function node, got {func!r}")
+    return _Builder(func, name or func.name).build()

@@ -1,0 +1,71 @@
+"""Module-level orchestration of the dataflow rules.
+
+:func:`analyze_module` is the linter's entry into this package: given a
+parsed module it builds one CFG per function (shared across analyses),
+harvests module-level integer constants (so ``tag=MERGE_TAG`` resolves),
+and runs
+
+* the communicator typestate pass (ULF007/ULF008) per function,
+* the collective-matching + tag-constancy pass (ULF006/ULF009) per
+  function, and
+* the interprocedural checkpoint-synchronisation pass (ULF005/ULF010)
+  over the whole module,
+
+returning plain :class:`~repro.analysis.linter.LintViolation` records so
+the existing ``noqa``/report/CLI machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from .cfg import CFG, build_cfg
+from .ckptsync import check_checkpoint_sync, collect_functions
+from .collmatch import check_collectives
+from .typestate import check_typestate
+
+__all__ = ["analyze_module", "module_int_constants"]
+
+
+def module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Top-level ``NAME = <int literal>`` bindings (e.g. tag constants).
+    Later rebindings win; non-literal rebindings invalidate the name."""
+    consts: Dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            if isinstance(stmt.value, ast.Constant) and \
+                    isinstance(stmt.value.value, int) and \
+                    not isinstance(stmt.value.value, bool):
+                consts[name] = stmt.value.value
+            else:
+                consts.pop(name, None)
+    return consts
+
+
+def analyze_module(tree: ast.Module, path: str) -> List:
+    """All dataflow-rule violations for one parsed module."""
+    from ..linter import LintViolation, RULES
+
+    violations: List[LintViolation] = []
+
+    def flag(rule: str, node: ast.AST, message: str) -> None:
+        violations.append(LintViolation(
+            rule, path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1, message))
+
+    assert all(r in RULES for r in
+               ("ULF005", "ULF006", "ULF007", "ULF008", "ULF009", "ULF010"))
+
+    funcs = collect_functions(tree)
+    cfgs: Dict[str, CFG] = {}
+    consts = module_int_constants(tree)
+    for fi in funcs:
+        cfg = build_cfg(fi.node, fi.qualname)
+        cfgs[fi.qualname] = cfg
+        check_typestate(fi.node, flag, cfg=cfg)
+        check_collectives(fi.node, flag, module_consts=consts, cfg=cfg)
+    check_checkpoint_sync(tree, flag, funcs=funcs, cfgs=cfgs)
+    return violations

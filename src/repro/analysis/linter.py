@@ -1,12 +1,13 @@
-"""AST lint for ULFM/simulation idioms (rules ULF001-ULF005).
+"""AST + dataflow lint for ULFM/simulation idioms (rules ULF001-ULF010).
 
 The simulator's correctness leans on a handful of conventions that plain
 Python happily lets you break: failure exceptions must reach the recovery
 protocol, the event loop must stay deterministic, collectives must not be
 retried from inside the very handler that caught their failure.  This
 linter walks the AST of every target file and flags violations of those
-conventions.  See ``docs/analysis.md`` for the full catalog with
-violation/fix examples.
+conventions; the flow-sensitive rules run on the control-flow graphs and
+fixpoint engine of :mod:`repro.analysis.dataflow`.  See
+``docs/analysis.md`` for the full catalog with violation/fix examples.
 
 ========  ================================================================
 ULF001    bare/broad ``except`` that can swallow ``ProcFailedError`` /
@@ -18,12 +19,22 @@ ULF003    communicator-creating call whose result is discarded (the new
           communicator can never be used or freed)
 ULF004    blocking (non-fault-tolerant) collective awaited inside a
           failure handler; only ``agree``/``shrink`` are safe there
-ULF005    checkpoint write not preceded by a synchronising operation in
-          the same function (partial checkpoints on failure)
+ULF005    checkpoint write reachable without a synchronising operation on
+          every path (flow-sensitive; partial checkpoints on failure)
+ULF006    collective call diverges across rank-dependent branches: some
+          ranks never reach it, every participant deadlocks
+ULF007    operation on a possibly-revoked communicator (typestate: only
+          agree/shrink/free are legal after revoke)
+ULF008    use or double free of a freed communicator (typestate)
+ULF009    point-to-point tags across the arms of a rank-dependent branch
+          can never match (constant propagation)
+ULF010    call chain reaches a checkpoint write without synchronising
+          first (interprocedural upgrade of ULF005)
 ========  ================================================================
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: ULF002`` /
-``# noqa: ULF001,ULF004`` to the offending line.
+``# noqa: ULF001, ULF004`` to the offending line; a justification may
+follow the codes (``# noqa: ULF002 -- replay-safe: host-only path``).
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["LintViolation", "RULES", "lint_file", "lint_paths",
+__all__ = ["LintViolation", "RULES", "SEVERITY", "lint_file", "lint_paths",
            "default_lint_paths", "format_report"]
 
 RULES: Dict[str, str] = {
@@ -42,7 +53,23 @@ RULES: Dict[str, str] = {
     "ULF002": "wall-clock/unseeded randomness breaks deterministic replay",
     "ULF003": "communicator created but discarded (never used or freed)",
     "ULF004": "blocking collective inside a failure handler",
-    "ULF005": "checkpoint write without preceding synchronisation",
+    "ULF005": "checkpoint write without synchronisation on every path",
+    "ULF006": "collective diverges across rank-dependent branches",
+    "ULF007": "operation on a possibly-revoked communicator",
+    "ULF008": "use or double free of a freed communicator",
+    "ULF009": "rank-branch point-to-point tags can never match",
+    "ULF010": "call chain reaches an unsynchronised checkpoint write",
+}
+
+#: CI severity per rule.  ``error`` rules are hard correctness contracts;
+#: ``warning`` rules rest on heuristics (rank-taint, module-local call
+#: resolution) and may need a justified ``# noqa`` in unusual shapes.
+#: The exit code treats both as violations.
+SEVERITY: Dict[str, str] = {
+    "ULF000": "error", "ULF001": "error", "ULF002": "error",
+    "ULF003": "error", "ULF004": "error", "ULF005": "error",
+    "ULF006": "warning", "ULF007": "error", "ULF008": "error",
+    "ULF009": "warning", "ULF010": "error",
 }
 
 #: exception names whose handlers count as *failure handlers* (ULF004)
@@ -51,15 +78,14 @@ _FAILURE_EXCEPTS = {"MPIError", "ProcFailedError", "RevokedError",
 #: collectives that block on every member and die with it (RvKind.NORMAL)
 _BLOCKING_COLLECTIVES = {"barrier", "bcast", "reduce", "allreduce",
                          "gather", "allgather", "scatter", "alltoall",
-                         "scan", "merge", "split", "dup", "spawn_multiple"}
+                         "scan", "exscan", "gatherv", "scatterv",
+                         "reduce_scatter_block",
+                         "merge", "split", "dup", "spawn_multiple"}
 #: fault-tolerant operations, fine inside failure handlers
 _SURVIVOR_CALLS = {"agree", "shrink", "revoke", "failure_ack",
                    "failure_get_acked"}
 #: methods returning a fresh communicator (ULF003)
 _COMM_CREATORS = {"dup", "split", "shrink", "merge"}
-#: awaits that synchronise the group before a checkpoint write (ULF005)
-_SYNC_CALLS = {"barrier", "agree", "allreduce", "allgather", "alltoall",
-               "bcast", "communicator_reconstruct"}
 #: wall-clock attributes of the ``time`` module (ULF002)
 _WALLCLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns",
                    "perf_counter", "perf_counter_ns", "sleep"}
@@ -69,8 +95,38 @@ _GLOBAL_RANDOM = {"random", "randint", "randrange", "choice", "choices",
                   "shuffle", "sample", "uniform", "gauss", "betavariate",
                   "expovariate", "normalvariate", "getrandbits", "seed"}
 
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?",
-                      re.IGNORECASE)
+#: the directive itself; code parsing happens token-wise afterwards so
+#: trailing prose ("# noqa: ULF002 justified because ...") cannot leak
+#: into the code list (the old ``[A-Z0-9, ]+`` + IGNORECASE regex ate it)
+_NOQA_RE = re.compile(r"#\s*noqa\b(?P<rest>:)?", re.IGNORECASE)
+_CODE_TOKEN_RE = re.compile(r"[A-Za-z]+[0-9]+$")
+
+
+def parse_noqa(line: str) -> Optional[Set[str]]:
+    """Parse a ``# noqa`` directive on a source line.
+
+    Returns ``None`` when the line has no directive, an empty set for a
+    blanket ``# noqa`` (suppress every rule), or the set of upper-cased
+    rule codes for ``# noqa: ULF001, ULF004``.  Codes may be separated
+    by commas and/or spaces; anything after the first non-code token is
+    treated as justification text and ignored, so
+    ``# noqa: ULF002 wall clock ok here`` suppresses exactly ULF002.
+    A ``noqa:`` with no parseable codes degrades to a blanket noqa.
+    """
+    m = _NOQA_RE.search(line)
+    if not m:
+        return None
+    if not m.group("rest"):
+        return set()
+    codes: Set[str] = set()
+    for token in re.split(r"[,\s]+", line[m.end():].strip()):
+        if not token:
+            continue
+        if _CODE_TOKEN_RE.match(token):
+            codes.add(token.upper())
+        else:
+            break  # justification prose starts here
+    return codes
 
 
 @dataclass
@@ -80,6 +136,15 @@ class LintViolation:
     line: int
     col: int
     message: str
+
+    @property
+    def severity(self) -> str:
+        return SEVERITY.get(self.rule, "error")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "severity": self.severity,
+                "path": self.path, "line": self.line, "col": self.col,
+                "message": self.message}
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -118,9 +183,12 @@ def _except_names(handler: ast.ExceptHandler) -> Set[str]:
 
 
 class _FileLinter(ast.NodeVisitor):
+    """Syntactic rules (ULF001-ULF004). ``noqa`` suppression happens
+    centrally in :func:`lint_file`, over syntactic and dataflow
+    violations alike."""
+
     def __init__(self, path: str, source: str):
         self.path = path
-        self.lines = source.splitlines()
         self.violations: List[LintViolation] = []
         # import tracking for ULF002
         self.module_aliases: Dict[str, str] = {}     # alias -> module
@@ -128,23 +196,9 @@ class _FileLinter(ast.NodeVisitor):
 
     # -- plumbing --------------------------------------------------------
     def flag(self, rule: str, node: ast.AST, message: str) -> None:
-        line = getattr(node, "lineno", 1)
-        if self._suppressed(line, rule):
-            return
         self.violations.append(LintViolation(
-            rule, self.path, line, getattr(node, "col_offset", 0) + 1,
-            message))
-
-    def _suppressed(self, line: int, rule: str) -> bool:
-        if not (1 <= line <= len(self.lines)):
-            return False
-        m = _NOQA_RE.search(self.lines[line - 1])
-        if not m:
-            return False
-        codes = m.group("codes")
-        if not codes:
-            return True
-        return rule in {c.strip().upper() for c in codes.split(",")}
+            rule, self.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1, message))
 
     # -- imports (ULF002 support) ---------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -285,32 +339,24 @@ class _FileLinter(ast.NodeVisitor):
                           "its rendezvous/message state)")
         self.generic_visit(node)
 
-    # -- ULF005: unsynchronised checkpoint write --------------------------
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        awaits = [(n.lineno, n) for body in (node.body,)
-                  for stmt in body for n in ast.walk(stmt)
-                  if isinstance(n, ast.Await)]
-        awaits.sort(key=lambda p: p[0])
-        synced_at: Optional[int] = None
-        for line, aw in awaits:
-            name = _call_name(aw.value)
-            if name in _SYNC_CALLS:
-                synced_at = line
-            elif name == "write_checkpoint":
-                if synced_at is None:
-                    self.flag(
-                        "ULF005", aw,
-                        "checkpoint write without a preceding "
-                        "synchronising operation (barrier/agree/"
-                        "allreduce/reconstruct) in this function: a "
-                        "failure mid-write leaves a torn checkpoint "
-                        "generation")
-        self.generic_visit(node)
+def _suppressed(v: LintViolation, lines: Sequence[str]) -> bool:
+    if not (1 <= v.line <= len(lines)):
+        return False
+    codes = parse_noqa(lines[v.line - 1])
+    if codes is None:
+        return False
+    return not codes or v.rule in codes
 
 
 def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
     """Lint one Python file; syntax errors become a single pseudo-violation
-    (rule ``ULF000``) rather than an exception."""
+    (rule ``ULF000``) rather than an exception.
+
+    Runs the syntactic visitor (ULF001-ULF004) and the dataflow analyses
+    (ULF005-ULF010), then applies ``noqa`` suppression to the combined
+    result."""
+    from .dataflow.driver import analyze_module  # lazy: driver imports us
+
     p = str(path)
     if source is None:
         source = Path(path).read_text()
@@ -322,7 +368,10 @@ def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
                               f"syntax error: {exc.msg}")]
     linter = _FileLinter(p, source)
     linter.visit(tree)
-    return sorted(linter.violations, key=lambda v: (v.path, v.line, v.col))
+    violations = linter.violations + analyze_module(tree, p)
+    lines = source.splitlines()
+    violations = [v for v in violations if not _suppressed(v, lines)]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
 
 
 def _iter_py_files(paths: Sequence) -> List[Path]:

@@ -5,15 +5,18 @@
     python -m repro run --technique AC --n 8 --steps 64 --failures 2
     python -m repro experiment fig10 --quick
     python -m repro describe --technique RC --n 8
-    python -m repro lint [paths ...]
+    python -m repro lint [paths ...] [--format json] [--select ULF006]
     python -m repro analyze-trace trace.jsonl
 
 ``run`` executes one application run (optionally with real failures) and
 prints the metrics; ``experiment`` regenerates one paper table/figure;
 ``describe`` prints the combination scheme and process layout; ``lint``
-runs the ULF001-ULF005 static checks; ``analyze-trace`` replays a
-recorded event trace through the protocol and race analyzers (record one
-with ``run --trace FILE``).
+runs the ULF001-ULF010 static + dataflow checks; ``analyze-trace``
+replays a recorded event trace through the protocol and race analyzers
+(record one with ``run --trace FILE``).
+
+``lint`` exit codes are a stable contract for CI: 0 = clean, 1 =
+violations found, 2 = usage error (missing path, unknown rule code).
 """
 
 from __future__ import annotations
@@ -146,12 +149,29 @@ def cmd_describe(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import (default_lint_paths, format_report, lint_paths,
-                           RULES)
+    from .analysis import (SEVERITY, default_lint_paths, format_report,
+                           lint_paths, RULES)
     if args.rules:
         for rule, summary in sorted(RULES.items()):
-            print(f"{rule}  {summary}")
+            print(f"{rule}  [{SEVERITY.get(rule, 'error'):7s}] {summary}")
         return 0
+
+    def _codes(raw: Optional[List[str]], flag_name: str) -> Optional[set]:
+        """Normalise repeated/comma-separated rule codes; exit 2 on junk."""
+        if not raw:
+            return None
+        codes = {c.strip().upper() for item in raw
+                 for c in item.split(",") if c.strip()}
+        unknown = sorted(codes - set(RULES) - {"ULF000"})
+        if unknown:
+            print(f"error: {flag_name}: unknown rule(s) "
+                  f"{', '.join(unknown)}; see --rules", file=sys.stderr)
+            raise SystemExit(2)
+        return codes
+
+    selected = _codes(args.select, "--select")
+    ignored = _codes(args.ignore, "--ignore")
+
     paths = args.paths or default_lint_paths()
     import os
     missing = [p for p in paths if not os.path.exists(p)]
@@ -160,8 +180,27 @@ def cmd_lint(args) -> int:
             print(f"error: no such file or directory: {p}", file=sys.stderr)
         return 2
     violations = lint_paths(paths)
+    # ULF000 (syntax error) always surfaces: a file the linter cannot
+    # parse was not checked against whatever the user selected
+    if selected is not None:
+        violations = [v for v in violations
+                      if v.rule in selected or v.rule == "ULF000"]
+    if ignored is not None:
+        violations = [v for v in violations if v.rule not in ignored]
     from .analysis.linter import _iter_py_files
-    print(format_report(violations, n_files=len(_iter_py_files(paths))))
+    n_files = len(_iter_py_files(paths))
+    if args.format == "json":
+        print(json.dumps({
+            "files": n_files,
+            "violations": [v.to_dict() for v in violations],
+            "counts": {
+                "total": len(violations),
+                "error": sum(v.severity == "error" for v in violations),
+                "warning": sum(v.severity == "warning" for v in violations),
+            },
+        }, indent=2))
+    else:
+        print(format_report(violations, n_files=n_files))
     return 1 if violations else 0
 
 
@@ -243,6 +282,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "package and examples/)")
     p_lint.add_argument("--rules", action="store_true",
                         help="list the rule catalog and exit")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="report format (json is machine-readable, "
+                             "for CI)")
+    p_lint.add_argument("--select", action="append", metavar="RULE",
+                        help="only report these rules (repeatable, "
+                             "comma-separable); syntax errors always "
+                             "surface")
+    p_lint.add_argument("--ignore", action="append", metavar="RULE",
+                        help="drop these rules from the report "
+                             "(repeatable, comma-separable)")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_an = sub.add_parser("analyze-trace",

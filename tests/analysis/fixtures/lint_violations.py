@@ -34,3 +34,35 @@ async def retry_inside_handler(comm):
 
 async def torn_checkpoint(ctx, disk, solver):
     await write_checkpoint(ctx, disk, 0, 0, solver, None)  # ULF005
+
+
+async def lopsided_barrier(comm):
+    if comm.rank == 0:
+        await comm.barrier()   # ULF006: only rank 0 reaches this
+
+
+async def use_after_revoke(comm):
+    comm.revoke()
+    await comm.barrier()       # ULF007: collective on revoked comm
+
+
+async def double_free(comm):
+    comm.free()
+    comm.free()                # ULF008: communicator already freed
+
+
+async def tags_never_match(comm):
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=11)
+    else:
+        await comm.recv(source=0, tag=22)  # ULF009: 22 never sent
+
+
+async def _write_helper(ctx, disk, solver):
+    # not flagged here: the obligation falls on the (unsynchronised) caller
+    await write_checkpoint(ctx, disk, 0, 0, solver, None)
+
+
+async def delegated_torn_checkpoint(ctx, disk, solver):
+    # ULF010: the helper writes a checkpoint; no sync precedes this call
+    await _write_helper(ctx, disk, solver)

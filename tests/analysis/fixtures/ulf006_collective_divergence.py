@@ -1,0 +1,36 @@
+"""ULF006 fixture pair: collective divergence under rank-dependent
+branches.  Lines tagged "BAD" (as an end-of-line marker) must be flagged; everything else must
+stay silent.  Used by ``tests/analysis/test_dataflow_rules.py``."""
+
+
+async def guarded_collective(comm):
+    if comm.rank == 0:
+        await comm.barrier()  # BAD: only rank 0 ever calls this
+
+
+async def early_return_divergence(comm):
+    if comm.rank != 0:  # BAD: non-roots return before the bcast below
+        return None
+    return await comm.bcast(1, root=0)
+
+
+async def corrected_hoisted(comm):
+    payload = b"data" if comm.rank == 0 else None
+    return await comm.bcast(payload, root=0)
+
+
+async def corrected_both_arms(comm):
+    if comm.rank == 0:
+        total = await comm.reduce(1, root=0)
+    else:
+        total = await comm.reduce(0, root=0)
+    return total
+
+
+async def p2p_in_branch_is_fine(comm):
+    # point-to-point inside a rank branch is the normal idiom, not ULF006
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=7)
+    elif comm.rank == 1:
+        await comm.recv(source=0, tag=7)
+    await comm.barrier()

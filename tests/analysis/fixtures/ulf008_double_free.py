@@ -1,0 +1,35 @@
+"""ULF008 fixture pair: use / double free of a freed communicator.
+Lines tagged "BAD" (as an end-of-line marker) must be flagged; everything else must stay
+silent.  Used by ``tests/analysis/test_dataflow_rules.py``."""
+
+
+async def double_free(comm):
+    dup = await comm.dup()
+    dup.free()
+    dup.free()  # BAD: already freed
+
+
+async def use_after_free(comm):
+    dup = await comm.dup()
+    dup.free()
+    await dup.barrier()  # BAD: freed communicator
+
+
+async def free_on_one_path_then_use(comm, shutting_down):
+    dup = await comm.dup()
+    if shutting_down:
+        dup.free()
+    await dup.bcast(1, root=0)  # BAD: freed on the shutdown path
+
+
+async def corrected_single_free(comm):
+    dup = await comm.dup()
+    await dup.barrier()
+    dup.free()
+
+
+async def corrected_rebind_then_free(comm):
+    dup = await comm.dup()
+    dup.free()
+    dup = await comm.dup()  # fresh communicator, old state forgotten
+    dup.free()

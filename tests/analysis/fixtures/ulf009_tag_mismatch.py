@@ -1,0 +1,42 @@
+"""ULF009 fixture pair: point-to-point tags across rank-branch arms that
+can never match.  Lines tagged "BAD" (as an end-of-line marker) must be flagged; everything
+else must stay silent.  Used by ``tests/analysis/test_dataflow_rules.py``."""
+
+HALO_TAG = 7
+
+
+async def literal_mismatch(comm):
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=11)
+    else:
+        await comm.recv(source=0, tag=22)  # BAD: 22 is never sent
+
+
+async def constant_mismatch(comm):
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=HALO_TAG)
+    else:
+        await comm.recv(source=0, tag=HALO_TAG + 1)  # BAD: 8 vs 7
+
+
+async def corrected_shared_constant(comm):
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=HALO_TAG)
+    else:
+        await comm.recv(source=0, tag=HALO_TAG)
+
+
+async def corrected_any_tag(comm):
+    # a defaulted recv tag is ANY_TAG and matches whatever arrives
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=31)
+    else:
+        await comm.recv(source=0)
+
+
+async def dynamic_tags_not_judged(comm, step):
+    # non-constant tags are out of scope for a static check
+    if comm.rank == 0:
+        await comm.send(b"x", dest=1, tag=step)
+    else:
+        await comm.recv(source=0, tag=step + 1)

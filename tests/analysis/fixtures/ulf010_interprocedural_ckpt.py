@@ -1,0 +1,33 @@
+"""ULF010 fixture pair: an unsynchronised call chain reaching a
+checkpoint write.  Lines tagged "BAD" (as an end-of-line marker) must be flagged; everything
+else must stay silent.  Used by ``tests/analysis/test_dataflow_rules.py``."""
+
+
+async def _persist(ctx, disk, solver):
+    # not flagged here: it has callers, so the sync obligation is theirs
+    await write_checkpoint(ctx, disk, 0, 0, solver, None)
+
+
+async def unsynced_caller(ctx, disk, solver):
+    await _persist(ctx, disk, solver)  # BAD: no sync before delegating
+
+
+async def partially_synced_caller(ctx, comm, disk, solver, fast_path):
+    if fast_path:
+        await comm.barrier()
+    await _persist(ctx, disk, solver)  # BAD: unsynced when fast_path false
+
+
+async def corrected_caller(ctx, comm, disk, solver):
+    await comm.barrier()
+    await _persist(ctx, disk, solver)
+
+
+async def corrected_syncing_helper(ctx, comm, disk, solver):
+    await _barrier_then_persist(ctx, comm, disk, solver)
+
+
+async def _barrier_then_persist(ctx, comm, disk, solver):
+    # the helper itself synchronises on every path, so callers are free
+    await comm.barrier()
+    await write_checkpoint(ctx, disk, 0, 0, solver, None)

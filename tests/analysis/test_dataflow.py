@@ -1,0 +1,323 @@
+"""CFG builder and fixpoint engine (repro.analysis.dataflow).
+
+The CFG tests are golden-graph assertions over ``CFG.describe()`` — a
+stable, line-oriented dump — on the adversarial shapes that break naive
+builders: nested try/finally with returns, while/else, continue inside
+an except handler, and async generators.  Changing the builder's output
+deliberately means updating the goldens here.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import Analysis, build_cfg, solve
+from repro.analysis.dataflow.cfg import walk_shallow
+
+
+def cfg_of(src):
+    return build_cfg(ast.parse(textwrap.dedent(src)).body[0])
+
+
+def golden(src, expected):
+    got = cfg_of(src).describe()
+    assert got == textwrap.dedent(expected).strip(), got
+
+
+# ---------------------------------------------------------------------------
+# golden graphs
+# ---------------------------------------------------------------------------
+def test_nested_try_finally_with_return():
+    # the inner return must route through BOTH finally suites (inner B7,
+    # then outer B4) before reaching the exit
+    golden('''
+    def f(a):
+        try:
+            try:
+                if a:
+                    return "inner"
+            finally:
+                inner_cleanup()
+        finally:
+            outer_cleanup()
+        return "fell through"
+    ''', '''
+    B0[entry]
+      => next->B2
+    B1[exit]
+      => (none)
+    B2[body]
+      => next->B5
+    B3[try.after]
+      return 'fell through'
+      => return->B1
+    B4[finally]
+      outer_cleanup()
+      => next->B3 return->B1
+    B5[try.body]
+      => exc->B4 next->B8
+    B6[try.after]
+      => exc->B4 finally->B4
+    B7[finally]
+      inner_cleanup()
+      => exc->B4 next->B6 finally->B4
+    B8[try.body]
+      ?a
+      => exc->B7 true->B9 false->B10
+    B9[if.then]
+      return 'inner'
+      => exc->B7 finally->B7
+    B10[if.after]
+      => exc->B7 finally->B7
+    ''')
+
+
+def test_while_else_with_break():
+    # `else` runs only on normal exhaustion (false edge); `break` skips it
+    golden('''
+    def f(items):
+        while items:
+            if probe(items):
+                break
+            items = items[1:]
+        else:
+            return "exhausted"
+        return "broke out"
+    ''', '''
+    B0[entry]
+      => next->B2
+    B1[exit]
+      => (none)
+    B2[body]
+      => next->B3
+    B3[while.head]
+      ?items
+      => true->B5 false->B8
+    B4[while.after]
+      return 'broke out'
+      => return->B1
+    B5[while.body]
+      ?probe(items)
+      => true->B6 false->B7
+    B6[if.then]
+      break
+      => break->B4
+    B7[if.after]
+      items = items[1:]
+      => loop->B3
+    B8[while.else]
+      return 'exhausted'
+      => return->B1
+    ''')
+
+
+def test_continue_inside_except():
+    # the handler's `continue` jumps to the loop head, not to the code
+    # after the try; the for header is lowered to `job = jobs`
+    golden('''
+    def f(jobs):
+        for job in jobs:
+            try:
+                run(job)
+            except OSError:
+                log(job)
+                continue
+            record(job)
+    ''', '''
+    B0[entry]
+      => next->B2
+    B1[exit]
+      => (none)
+    B2[body]
+      => next->B3
+    B3[for.head]
+      job = jobs
+      ?jobs
+      => true->B5 false->B4
+    B4[for.after]
+      => next->B1
+    B5[for.body]
+      => next->B8
+    B6[try.after]
+      record(job)
+      => loop->B3
+    B7[except]
+      log(job)
+      continue
+      => continue->B3
+    B8[try.body]
+      run(job)
+      => exc->B7 next->B6
+    ''')
+
+
+def test_async_generator():
+    # awaits and yields do not split blocks: they stay inline where
+    # walk_shallow finds them
+    golden('''
+    async def agen(comm, n):
+        for i in range(n):
+            value = await comm.recv(source=0, tag=i)
+            yield value
+    ''', '''
+    B0[entry]
+      => next->B2
+    B1[exit]
+      => (none)
+    B2[body]
+      => next->B3
+    B3[for.head]
+      i = range(n)
+      ?range(n)
+      => true->B5 false->B4
+    B4[for.after]
+      => next->B1
+    B5[for.body]
+      value = await comm.recv(source=0, tag=i)
+      yield value
+      => loop->B3
+    ''')
+
+
+# ---------------------------------------------------------------------------
+# structural properties
+# ---------------------------------------------------------------------------
+def test_every_edge_targets_a_real_block():
+    cfg = cfg_of('''
+    def f(a, b):
+        with a() as h:
+            try:
+                while b:
+                    if h:
+                        raise ValueError(b)
+                    b -= 1
+            except ValueError:
+                pass
+            finally:
+                h.close()
+        return b
+    ''')
+    for block in cfg.blocks.values():
+        for target, kind in block.succs:
+            assert target in cfg.blocks, (block, target, kind)
+
+
+def test_preds_is_exact_reverse_of_succs():
+    cfg = cfg_of('''
+    def f(x):
+        for i in x:
+            if i:
+                continue
+        return x
+    ''')
+    preds = cfg.preds()
+    fwd = {(b.bid, t, k) for b in cfg.blocks.values() for t, k in b.succs}
+    rev = {(p, b, k) for b, plist in preds.items() for p, k in plist}
+    assert fwd == rev
+
+
+def test_walk_shallow_skips_nested_scopes():
+    stmt = ast.parse(
+        "def outer():\n"
+        "    a = 1\n"
+        "    def inner():\n"
+        "        b = hidden()\n"
+        "    return a\n").body[0]
+    calls = [n for s in stmt.body for n in walk_shallow(s)
+             if isinstance(n, ast.Call)]
+    assert calls == []
+
+
+# ---------------------------------------------------------------------------
+# fixpoint engine
+# ---------------------------------------------------------------------------
+class _ReachingCalls(Analysis):
+    """Forward may-analysis: names of functions called on some path."""
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer_stmt(self, stmt, state, emit=None):
+        names = {n.func.id for n in walk_shallow(stmt)
+                 if isinstance(n, ast.Call)
+                 and isinstance(n.func, ast.Name)}
+        return state | names
+
+
+def test_forward_solve_joins_over_branches():
+    cfg = cfg_of('''
+    def f(a):
+        if a:
+            left()
+        else:
+            right()
+        after()
+    ''')
+    _, out = solve(cfg, _ReachingCalls())
+    assert out[cfg.exit] == {"left", "right", "after"}
+
+
+def test_loop_body_facts_reach_the_head():
+    cfg = cfg_of('''
+    def f(xs):
+        for x in xs:
+            inside()
+    ''')
+    in_states, _ = solve(cfg, _ReachingCalls())
+    head = next(b for b in cfg.blocks.values() if b.label == "for.head")
+    # back edge carries the loop body's facts into the head's in-state
+    assert "inside" in in_states[head.bid]
+
+
+def test_unreachable_code_stays_bottom():
+    cfg = cfg_of('''
+    def f():
+        return early()
+        dead()
+    ''')
+    in_states, _ = solve(cfg, _ReachingCalls())
+    dead = [bid for bid, b in cfg.blocks.items()
+            if any("dead" in ast.unparse(s) for s in b.stmts)]
+    assert dead and all(in_states[bid] == frozenset() for bid in dead)
+
+
+class _LiveNames(Analysis):
+    """Backward may-analysis: names read later (tiny liveness)."""
+    direction = "backward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer_stmt(self, stmt, state, emit=None):
+        if isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.targets[0], ast.Name):
+            state = state - {stmt.targets[0].id}
+        reads = {n.id for n in walk_shallow(stmt)
+                 if isinstance(n, ast.Name)
+                 and isinstance(n.ctx, ast.Load)}
+        return state | reads
+
+
+def test_backward_solve_liveness():
+    cfg = cfg_of('''
+    def f(a):
+        x = a
+        y = 1
+        return x
+    ''')
+    _, out = solve(cfg, _LiveNames())
+    # out_states of a backward analysis = state at the block *start*:
+    # at function entry only `a` is live (y is dead, x not yet defined)
+    assert out[cfg.entry] == {"a"}

@@ -137,6 +137,46 @@ def test_noqa_suppression():
     assert rules_of(check(src)) == ["ULF002"]
 
 
+def test_noqa_space_after_comma():
+    # `# noqa: ULF001, ULF002` (space after the comma) must suppress both
+    src = ("import time, random\n"
+           "t = time.time() + random.random()  # noqa: ULF001, ULF002\n")
+    assert check(src) == []
+    # ... and still not suppress rules that are not listed
+    src = ("import time\n"
+           "t = time.time()  # noqa: ULF001, ULF003\n")
+    assert rules_of(check(src)) == ["ULF002"]
+
+
+def test_noqa_trailing_justification_text():
+    # prose after the codes is a justification, not part of the code list
+    src = ("import time\n"
+           "t = time.time()  # noqa: ULF002 wall clock fine in this demo\n")
+    assert check(src) == []
+    src = ("import time\n"
+           "t = time.time()  # noqa: ULF002 -- host-only path\n")
+    assert check(src) == []
+    # justification naming another rule must not widen the suppression
+    src = ("import time\n"
+           "t = time.time()  # noqa: ULF001 unlike ULF002 this is listed\n")
+    assert rules_of(check(src)) == ["ULF002"]
+
+
+def test_noqa_case_and_bare_colon():
+    src = "import time\nt = time.time()  # NOQA: ulf002\n"
+    assert check(src) == []
+    # `noqa:` with nothing parseable degrades to a blanket suppression
+    src = "import time\nt = time.time()  # noqa: because I said so\n"
+    assert check(src) == []
+
+
+def test_noqa_applies_to_dataflow_rules_too():
+    src = ("async def f(comm):\n"
+           "    comm.revoke()\n"
+           "    await comm.barrier()  # noqa: ULF007\n")
+    assert check(src) == []
+
+
 def test_syntax_error_becomes_violation(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("def broken(:\n")
