@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validate machine-readable observability outputs against their schemas.
+
+Usage: python scripts/validate_obs.py [--experiment FILE]... [--timeline FILE]...
+
+CI runs an instrumented experiment (``repro experiment fig9 --quick
+--json``) and a timeline export (``repro timeline``), then feeds both
+through this script — a schema break fails the build rather than the
+next person's plotting script.  Validators live in ``repro.obs.schema``;
+this is a thin file-reading front end.
+
+Exit codes: 0 all documents valid, 1 a document failed validation,
+2 usage error (no files given / file unreadable).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs import (SchemaError, validate_chrome_trace,
+                       validate_experiment_doc)
+
+
+def _load(path: str):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as exc:
+        print(f"validate_obs: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as exc:
+        print(f"validate_obs: {path} is not JSON: {exc}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="validate_obs",
+        description="Schema-check experiment --json and timeline outputs.")
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="FILE",
+                        help="an experiment --json document to validate")
+    parser.add_argument("--timeline", action="append", default=[],
+                        metavar="FILE",
+                        help="a Chrome trace_event timeline to validate")
+    args = parser.parse_args(argv)
+    if not args.experiment and not args.timeline:
+        parser.error("nothing to validate (pass --experiment/--timeline)")
+
+    failures = 0
+    for path in args.experiment:
+        doc = _load(path)
+        try:
+            validate_experiment_doc(doc)
+        except SchemaError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path}: experiment {doc['experiment']!r}, "
+                  f"{len(doc['points'])} points")
+    for path in args.timeline:
+        doc = _load(path)
+        try:
+            validate_chrome_trace(doc)
+        except SchemaError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+            print(f"ok   {path}: {len(doc['traceEvents'])} events, "
+                  f"{spans} spans")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

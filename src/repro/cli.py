@@ -3,17 +3,21 @@
 ::
 
     python -m repro run --technique AC --n 8 --steps 64 --failures 2
-    python -m repro experiment fig10 --quick
+    python -m repro experiment fig10 --quick [--json FILE]
     python -m repro describe --technique RC --n 8
     python -m repro lint [paths ...] [--format json] [--select ULF006]
     python -m repro analyze-trace trace.jsonl
+    python -m repro timeline trace.jsonl -o timeline.json
 
 ``run`` executes one application run (optionally with real failures) and
-prints the metrics; ``experiment`` regenerates one paper table/figure;
-``describe`` prints the combination scheme and process layout; ``lint``
-runs the ULF001-ULF010 static + dataflow checks; ``analyze-trace``
-replays a recorded event trace through the protocol and race analyzers
-(record one with ``run --trace FILE``).
+prints the metrics; ``experiment`` regenerates one paper table/figure
+(``--json`` writes the machine-readable document with per-phase timing
+breakdowns); ``describe`` prints the combination scheme and process
+layout; ``lint`` runs the ULF001-ULF010 static + dataflow checks;
+``analyze-trace`` replays a recorded event trace through the protocol and
+race analyzers; ``timeline`` converts a trace to the Chrome trace_event
+format (load in Perfetto / chrome://tracing).  Record traces with
+``run --trace FILE``.
 
 ``lint`` exit codes are a stable contract for CI: 0 = clean, 1 =
 violations found, 2 = usage error (missing path, unknown rule code).
@@ -98,6 +102,13 @@ def cmd_run(args) -> int:
             print(f"  checkpoints      : {m.checkpoint_writes} writes "
                   f"({m.checkpoint_write_time:.3f} s), "
                   f"recompute {m.recompute_steps} steps")
+        if m.phase_breakdown:
+            from .obs.spans import PHASES
+            order = {p: i for i, p in enumerate(PHASES)}
+            print("phase breakdown (critical path):")
+            for phase in sorted(m.phase_breakdown,
+                                key=lambda p: order.get(p, len(order))):
+                print(f"  {phase:16s} : {m.phase_breakdown[phase]:.6f} s")
     return 0
 
 
@@ -105,31 +116,60 @@ def cmd_experiment(args) -> int:
     from .experiments import fig8, fig9, fig10, fig11, table1
     name = args.name
     if name == "table1":
-        print(table1.format_table1(table1.run_table1(steps=8)))
+        points, fmt = table1.run_table1(steps=8), table1.format_table1
     elif name == "fig8":
         seeds = (0,) if args.quick else (0, 1, 2)
-        print(fig8.format_fig8(fig8.run_fig8(steps=8, seeds=seeds)))
+        points, fmt = fig8.run_fig8(steps=8, seeds=seeds), fig8.format_fig8
     elif name == "fig9":
         if args.quick:
-            pts = fig9.run_fig9(n=7, steps=16, seeds=(0,))
+            points = fig9.run_fig9(n=7, steps=16, seeds=(0,))
         else:
-            pts = fig9.run_fig9_paper_scale(seeds=(0,))
-        print(fig9.format_fig9(pts))
+            points = fig9.run_fig9_paper_scale(seeds=(0,))
+        fmt = fig9.format_fig9
     elif name == "fig10":
         seeds = tuple(range(3 if args.quick else 10))
         n = 7 if args.quick else 9
         steps = 32 if args.quick else 128
-        print(fig10.format_fig10(fig10.run_fig10(n=n, steps=steps,
-                                                 seeds=seeds)))
+        points = fig10.run_fig10(n=n, steps=steps, seeds=seeds)
+        fmt = fig10.format_fig10
     elif name == "fig11":
         if args.quick:
-            pts = fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
-                                  compute_scale=200.0)
+            points = fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
+                                     compute_scale=200.0)
         else:
-            pts = fig11.run_fig11_paper_scale()
-        print(fig11.format_fig11(pts))
+            points = fig11.run_fig11_paper_scale()
+        fmt = fig11.format_fig11
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
+    if args.json:
+        from .experiments.report import write_experiment_json
+        write_experiment_json(args.json, name, points,
+                              params={"quick": bool(args.quick)})
+        if args.json != "-":
+            print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        print(fmt(points))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .obs.schema import SchemaError, validate_chrome_trace
+    from .obs.timeline import export_timeline
+    try:
+        doc = export_timeline(args.file, args.output)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such trace file: {args.file}")
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {args.file} is not a trace file: {exc}")
+    try:
+        validate_chrome_trace(doc)
+    except SchemaError as exc:
+        print(f"warning: {exc} (timeline written anyway; the trace may "
+              f"lack span events — re-record with a run that exercises "
+              f"recovery)", file=sys.stderr)
+    n = len(doc.get("traceEvents", ()))
+    print(f"{args.output}: {n} trace event(s) "
+          f"(open in Perfetto or chrome://tracing)", file=sys.stderr)
     return 0
 
 
@@ -268,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["table1", "fig8", "fig9", "fig10", "fig11"])
     p_exp.add_argument("--quick", action="store_true",
                        help="small fast variant")
+    p_exp.add_argument("--json", metavar="FILE",
+                       help="write the machine-readable experiment document "
+                            "with per-phase breakdowns ('-' = stdout)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_desc = sub.add_parser("describe",
@@ -303,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="analyze even if the recorder dropped events "
                            "(results may be unsound)")
     p_an.set_defaults(fn=cmd_analyze_trace)
+
+    p_tl = sub.add_parser("timeline",
+                          help="convert a trace to Chrome trace_event "
+                               "JSON (Perfetto / chrome://tracing)")
+    p_tl.add_argument("file", help="JSONL trace from 'run --trace'")
+    p_tl.add_argument("-o", "--output", default="timeline.json",
+                      help="output path (default: timeline.json)")
+    p_tl.set_defaults(fn=cmd_timeline)
     return parser
 
 

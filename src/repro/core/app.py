@@ -265,7 +265,9 @@ class CombinationApp:
 
     async def _plain_stepping(self) -> None:
         cfg = self.cfg
-        await self._step_guarded(cfg.steps - self.solver.step_count)
+        with self.ctx.span("solve", technique=self.technique.code,
+                           gid=self.gid):
+            await self._step_guarded(cfg.steps - self.solver.step_count)
         world2 = await communicator_reconstruct(
             self.ctx, self.world, entry=app_main, argv=(cfg,),
             placement=cfg.placement, timers=self.timers)
@@ -308,7 +310,9 @@ class CombinationApp:
             horizon = await self._cr_failure_branch(first_join=True)
             targets = [t for t in targets if t > horizon]
         for target in targets:
-            await self._step_guarded(target - self.solver.step_count)
+            with self.ctx.span("solve", technique=self.technique.code,
+                               gid=self.gid):
+                await self._step_guarded(target - self.solver.step_count)
             world2 = await communicator_reconstruct(
                 ctx, self.world, entry=app_main, argv=(cfg,),
                 placement=cfg.placement, timers=self.timers)
@@ -342,7 +346,8 @@ class CombinationApp:
                 ctx, self._disk(), self.gid, self.grid_comm,
                 self.solver, self.cr_stats)
             recompute = max(0, horizon - self.solver.step_count)
-            await self._step_guarded(recompute)
+            with ctx.span("recompute", technique="CR", gid=self.gid):
+                await self._step_guarded(recompute)
             self.cr_stats.recompute_steps += recompute
         try:
             await self.world.barrier()
@@ -365,14 +370,17 @@ class CombinationApp:
         t0 = ctx.wtime()
         if self.lost:
             code = self.technique.code
-            if code == "CR":
-                await self._cr_recover_simulated()
-            elif code == "RC":
-                await self._rc_recover()
-            elif code == "AC":
-                # "only the time needed for creating the combination
-                # coefficients ... is used as recovery overhead"
-                await ctx.compute(flops=AC_COEFF_FLOPS * max(1, len(self.lost)))
+            with ctx.span("recovery", technique=code, gid=self.gid,
+                          n_lost=len(self.lost)):
+                if code == "CR":
+                    await self._cr_recover_simulated()
+                elif code == "RC":
+                    await self._rc_recover()
+                elif code == "AC":
+                    # "only the time needed for creating the combination
+                    # coefficients ... is used as recovery overhead"
+                    await ctx.compute(
+                        flops=AC_COEFF_FLOPS * max(1, len(self.lost)))
         await world.barrier()
         self.metrics.t_recovery = ctx.wtime() - t0
 
@@ -390,7 +398,8 @@ class CombinationApp:
                                  self.cr_stats)
         recompute = max(0, cfg.steps - self.solver.step_count)
         if recompute:
-            await self.solver.step(recompute)
+            with ctx.span("recompute", technique="CR", gid=self.gid):
+                await self.solver.step(recompute)
         self.cr_stats.recompute_steps += recompute
 
     async def _rc_recover(self) -> None:
@@ -456,24 +465,27 @@ class CombinationApp:
         world = self.world
         await world.barrier()
         t0 = ctx.wtime()
-        coeffs = self._coefficients()
-        self.metrics.coefficients = dict(coeffs)
-        nodal = await self.solver.gather_nodal(0)
-        parts = {}
-        if self._contributes(coeffs) and nodal is not None:
-            parts[self.scheme[self.gid].index] = nodal
-        combined = await combine_on_root(world, parts, coeffs, cfg.target,
-                                         root=0)
-        # AC: lost grids receive a sample of the combined solution
-        if self.technique.code == "AC" and self.lost:
-            wanted = {self.layout.root_rank(g): self.scheme[g].index
-                      for g in self.lost}
-            sample = await scatter_samples(world, combined, cfg.target,
-                                           wanted, root=0)
-            if self.gid in self.lost:
-                data = periodic_from_nodal(sample) \
-                    if self.grid_comm.rank == 0 and sample is not None else None
-                await self.solver.scatter_full(data, 0, step_count=cfg.steps)
+        with ctx.span("combine", technique=self.technique.code, gid=self.gid):
+            coeffs = self._coefficients()
+            self.metrics.coefficients = dict(coeffs)
+            nodal = await self.solver.gather_nodal(0)
+            parts = {}
+            if self._contributes(coeffs) and nodal is not None:
+                parts[self.scheme[self.gid].index] = nodal
+            combined = await combine_on_root(world, parts, coeffs, cfg.target,
+                                             root=0)
+            # AC: lost grids receive a sample of the combined solution
+            if self.technique.code == "AC" and self.lost:
+                wanted = {self.layout.root_rank(g): self.scheme[g].index
+                          for g in self.lost}
+                sample = await scatter_samples(world, combined, cfg.target,
+                                               wanted, root=0)
+                if self.gid in self.lost:
+                    data = periodic_from_nodal(sample) \
+                        if self.grid_comm.rank == 0 and sample is not None \
+                        else None
+                    await self.solver.scatter_full(data, 0,
+                                                   step_count=cfg.steps)
         await world.barrier()
         self.metrics.t_combine = ctx.wtime() - t0
         # aggregate per-rank checkpoint accounting on rank 0: wall-clock

@@ -48,6 +48,12 @@ class RunMetrics:
     checkpoint_read_time: float = 0.0
     recompute_steps: int = 0
 
+    # observability: per-phase virtual seconds (critical path = max over
+    # ranks per phase) and the same broken down per grid id, filled in by
+    # :func:`repro.core.runner.run_app` from the universe's span recorder
+    phase_breakdown: Dict[str, float] = field(default_factory=dict)
+    phase_by_grid: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
     # accuracy
     error_l1: float = float("nan")
     error_l2: float = float("nan")

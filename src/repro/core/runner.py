@@ -46,6 +46,10 @@ def run_app(cfg: AppConfig, machine: MachineSpec = OPL, *,
     metrics = job.results()[0]
     if metrics is None:
         raise RuntimeError("rank 0 produced no metrics (killed?)")
+    # attach the recovery-phase observability: critical-path seconds per
+    # phase (max over ranks — phases run concurrently) and per grid
+    metrics.phase_breakdown = universe.obs.phase_totals()
+    metrics.phase_by_grid = universe.obs.spans.by_label("gid")
     return metrics
 
 

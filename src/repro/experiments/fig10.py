@@ -13,12 +13,12 @@ about a factor of 10 of the baseline up to 5 lost grids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from ..core import AppConfig, choose_lost_grids, run_app
 from ..machine.presets import IDEAL
-from .report import format_table
+from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
 
@@ -29,6 +29,8 @@ class Fig10Point:
     n_lost: int
     error_l1: float
     baseline_l1: float
+    #: per-phase critical-path seconds, seed-averaged
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ratio(self) -> float:
@@ -44,6 +46,7 @@ def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,
         baseline = None
         for n_lost in lost_counts:
             errs = []
+            phases: Dict[str, float] = {}
             for seed in seeds:
                 probe = AppConfig(n=n, level=level, technique_code=code,
                                   steps=steps, diag_procs=diag_procs,
@@ -56,12 +59,14 @@ def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,
                                 simulated_lost_gids=lost)
                 m = run_app(cfg, machine)
                 errs.append(m.error_l1)
+                merge_phases(phases, m.phase_breakdown)
                 if n_lost == 0:
                     break  # deterministic without losses
             avg = sum(errs) / len(errs)
             if baseline is None:
                 baseline = avg
-            points.append(Fig10Point(code, n_lost, avg, baseline))
+            points.append(Fig10Point(code, n_lost, avg, baseline,
+                                     scale_phases(phases, len(errs))))
     return points
 
 
@@ -73,8 +78,20 @@ def format_fig10(points: List[Fig10Point]) -> str:
               "solution", floatfmt="12.4e")
 
 
-def main():  # pragma: no cover - CLI
-    print(format_fig10(run_fig10()))
+def main(argv=None):  # pragma: no cover - CLI
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small fast variant")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the experiment document ('-' = stdout)")
+    args = ap.parse_args(argv)
+    pts = run_fig10(seeds=tuple(range(3))) if args.quick else run_fig10()
+    if args.json:
+        from .report import write_experiment_json
+        write_experiment_json(args.json, "fig10", pts)
+    else:
+        print(format_fig10(pts))
 
 
 if __name__ == "__main__":  # pragma: no cover

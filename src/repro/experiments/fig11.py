@@ -14,12 +14,12 @@ Efficiency is strong-scaling efficiency within each series:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
 from ..machine.presets import OPL
-from .report import format_table
+from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
 
@@ -31,6 +31,8 @@ class Fig11Point:
     cores: int
     t_total: float
     efficiency: float = 1.0
+    #: per-phase critical-path seconds, seed-averaged
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
@@ -50,6 +52,7 @@ def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
                                  compute_scale=compute_scale)
                 t_solve = baseline_solve_time(base, machine)
                 totals = []
+                phases: Dict[str, float] = {}
                 for seed in seeds:
                     cfg = AppConfig(n=n, level=level, technique_code=code,
                                     steps=steps, diag_procs=p,
@@ -61,8 +64,10 @@ def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
                     m = run_app(cfg, machine, kills=kills)
                     totals.append(m.t_total)
                     cores = m.world_size
-                series.append(Fig11Point(code, nf, cores,
-                                         sum(totals) / len(totals)))
+                    merge_phases(phases, m.phase_breakdown)
+                series.append(Fig11Point(
+                    code, nf, cores, sum(totals) / len(totals),
+                    phases=scale_phases(phases, len(seeds))))
             t0, p0 = series[0].t_total, series[0].cores
             for pt in series:
                 pt.efficiency = (t0 * p0) / (pt.t_total * pt.cores) \
@@ -91,8 +96,20 @@ def format_fig11(points: List[Fig11Point]) -> str:
               "efficiency (b)")
 
 
-def main():  # pragma: no cover - CLI
-    print(format_fig11(run_fig11()))
+def main(argv=None):  # pragma: no cover - CLI
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small fast variant")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the experiment document ('-' = stdout)")
+    args = ap.parse_args(argv)
+    pts = run_fig11(diag_procs=(2, 4, 8)) if args.quick else run_fig11()
+    if args.json:
+        from .report import write_experiment_json
+        write_experiment_json(args.json, "fig11", pts)
+    else:
+        print(format_fig11(pts))
 
 
 if __name__ == "__main__":  # pragma: no cover

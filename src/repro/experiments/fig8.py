@@ -13,12 +13,12 @@ two-failure case is dramatically more expensive than one failure (the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
 from ..machine.presets import OPL
-from .report import format_table
+from .report import format_table, merge_phases, scale_phases
 from .table1 import SWEEP_DIAG_PROCS
 
 
@@ -28,6 +28,8 @@ class Fig8Point:
     n_failures: int
     t_failed_list: float     #: Fig. 8a
     t_reconstruct: float     #: Fig. 8b
+    #: per-phase critical-path seconds, seed-averaged
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
@@ -42,6 +44,7 @@ def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
         t_solve = baseline_solve_time(base, machine)
         for nf in failure_counts:
             t_list, t_rec, cores = 0.0, 0.0, 0
+            phases: Dict[str, float] = {}
             for seed in seeds:
                 cfg = AppConfig(n=n, level=level, technique_code="CR",
                                 steps=steps, diag_procs=p,
@@ -52,8 +55,10 @@ def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
                 t_list += m.t_detect
                 t_rec += m.t_reconstruct
                 cores = m.world_size
+                merge_phases(phases, m.phase_breakdown)
             points.append(Fig8Point(cores, nf, t_list / len(seeds),
-                                    t_rec / len(seeds)))
+                                    t_rec / len(seeds),
+                                    scale_phases(phases, len(seeds))))
     return points
 
 
@@ -66,8 +71,20 @@ def format_fig8(points: List[Fig8Point]) -> str:
               "reconstruction (b) wall times")
 
 
-def main():  # pragma: no cover - CLI
-    print(format_fig8(run_fig8()))
+def main(argv=None):  # pragma: no cover - CLI
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small fast variant")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the experiment document ('-' = stdout)")
+    args = ap.parse_args(argv)
+    pts = run_fig8(seeds=(0,)) if args.quick else run_fig8(seeds=(0, 1, 2))
+    if args.json:
+        from .report import write_experiment_json
+        write_experiment_json(args.json, "fig8", pts)
+    else:
+        print(format_fig8(pts))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,12 +24,12 @@ charging RC and AC for their extra processes relative to CR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from ..core import AppConfig, choose_lost_grids, run_app
 from ..machine.presets import OPL, RAIJIN
-from .report import format_table
+from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
 
@@ -43,6 +43,8 @@ class Fig9Point:
     process_time_overhead: float   #: Fig. 9b
     world_size: int
     t_app: float
+    #: per-phase critical-path seconds, seed-averaged
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 def _config(code: str, n: int, level: int, steps: int, diag_procs: int,
@@ -74,6 +76,7 @@ def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,
         for code in TECH_CODES:
             for n_lost in lost_counts:
                 oh, pt, world, tapp = 0.0, 0.0, 0, 0.0
+                phases: Dict[str, float] = {}
                 for seed in seeds:
                     probe = _config(code, n, level, steps, diag_procs, (),
                                     checkpoint_count)
@@ -92,9 +95,11 @@ def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,
                     pt += norm
                     world = p_x
                     tapp += t_app
+                    merge_phases(phases, m.phase_breakdown)
                 k = len(seeds)
                 points.append(Fig9Point(machine.name, code, n_lost, oh / k,
-                                        pt / k, world, tapp / k))
+                                        pt / k, world, tapp / k,
+                                        scale_phases(phases, k)))
     return points
 
 
@@ -122,8 +127,20 @@ def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2)) -> List[Fig9Point]:
                     checkpoint_count=None, compute_scale=600.0)
 
 
-def main():  # pragma: no cover - CLI
-    print(format_fig9(run_fig9()))
+def main(argv=None):  # pragma: no cover - CLI
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small fast variant")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the experiment document ('-' = stdout)")
+    args = ap.parse_args(argv)
+    pts = run_fig9(steps=16, seeds=(0,)) if args.quick else run_fig9()
+    if args.json:
+        from .report import write_experiment_json
+        write_experiment_json(args.json, "fig9", pts)
+    else:
+        print(format_fig9(pts))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,7 @@ counts 19/38/76/152/304 from diagonal process counts 4/8/16/32/64.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
@@ -35,6 +35,8 @@ class Table1Row:
     shrink: float
     agree: float
     merge: float
+    #: per-phase critical-path seconds for the run
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,
@@ -52,7 +54,8 @@ def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,
                         diag_procs=p, layout_mode="sweep", checkpoint_count=2)
         m = run_app(cfg, machine, kills=kills)
         rows.append(Table1Row(m.world_size, m.t_spawn, m.t_shrink,
-                              m.t_agree, m.t_merge))
+                              m.t_agree, m.t_merge,
+                              dict(m.phase_breakdown)))
     return rows
 
 
@@ -74,9 +77,20 @@ def format_table1(rows: List[Table1Row]) -> str:
               "[measured vs paper]")
 
 
-def main():  # pragma: no cover - CLI
-    rows = run_table1()
-    print(format_table1(rows))
+def main(argv=None):  # pragma: no cover - CLI
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small fast variant")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the experiment document ('-' = stdout)")
+    args = ap.parse_args(argv)
+    rows = run_table1(diag_procs=(4, 8)) if args.quick else run_table1()
+    if args.json:
+        from .report import write_experiment_json
+        write_experiment_json(args.json, "table1", rows)
+    else:
+        print(format_table1(rows))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -68,17 +68,32 @@ class Disk:
         self.bytes_written = 0
 
     def write(self, gid: int, grid_rank: int, snapshot: dict) -> None:
+        # store an owned copy: the caller keeps (and may mutate) its array
+        stored = dict(snapshot)
+        stored["u"] = snapshot["u"].copy()
         slot = self._store.setdefault((gid, grid_rank), {})
-        slot[snapshot["step_count"]] = snapshot
+        slot[snapshot["step_count"]] = stored
         while len(slot) > self.KEEP:
             del slot[min(slot)]
         self.writes += 1
         self.bytes_written += snapshot["u"].nbytes
 
     def read(self, gid: int, grid_rank: int, step: int) -> Optional[dict]:
+        """Return an *owned* snapshot: ``u`` is deep-copied, never a view
+        of the stored history.
+
+        A shallow ``dict(snap)`` used to alias the stored array — a caller
+        stepping in place after a restore (the ``*_into`` kernel path)
+        would silently corrupt the checkpoint it had just read, so the
+        next restore of the same step returned post-failure garbage.
+        """
         self.reads += 1
         snap = self._store.get((gid, grid_rank), {}).get(step)
-        return None if snap is None else dict(snap)
+        if snap is None:
+            return None
+        out = dict(snap)
+        out["u"] = snap["u"].copy()
+        return out
 
     def available_steps(self, gid: int, grid_rank: int) -> Tuple[int, ...]:
         return tuple(sorted(self._store.get((gid, grid_rank), {})))
@@ -115,9 +130,12 @@ class FileDisk(Disk):
                  meta=np.array([step, snapshot["level_x"],
                                 snapshot["level_y"]]))
         super().write(gid, grid_rank, snapshot)
-        # prune files evicted from the bounded history
+        # prune files evicted from the bounded history — including the
+        # step just written: re-writing a step older than the retained
+        # window evicts itself, and leaving its file behind would let
+        # ``read`` (which trusts the filesystem) resurrect dead history
         kept = set(self.available_steps(gid, grid_rank))
-        for s in older:
+        for s in set(older) | {step}:
             if s not in kept:
                 self._path(gid, grid_rank, s).unlink(missing_ok=True)
 
@@ -148,9 +166,10 @@ class CheckpointStats:
 async def write_checkpoint(ctx, disk: Disk, gid: int, grid_rank: int,
                            solver, stats: Optional[CheckpointStats] = None) -> None:
     """Write this rank's slab; charges ``T_I/O`` + streaming."""
-    snap = solver.snapshot()
-    cost = await ctx.disk_write(snap["u"].nbytes)
-    disk.write(gid, grid_rank, snap)
+    with ctx.span("checkpoint_write", gid=gid):
+        snap = solver.snapshot()
+        cost = await ctx.disk_write(snap["u"].nbytes)
+        disk.write(gid, grid_rank, snap)
     if stats is not None:
         stats.writes += 1
         stats.write_time += cost
@@ -170,26 +189,27 @@ async def restore_checkpoint(ctx, disk: Disk, gid: int, grid_comm, solver,
     Returns the restored step count.
     """
     from ..mpi.comm import MIN
-    my_latest = disk.latest_step(gid, grid_comm.rank)
-    common = await grid_comm.allreduce(
-        0 if my_latest is None else my_latest, op=MIN)
-    if common <= 0:
-        cost = await ctx.disk_read(solver.u.nbytes)
-        from ..pde.lax_wendroff import periodic_from_initial
-        full = periodic_from_initial(solver.problem, solver.level_x,
-                                     solver.level_y)
-        solver.u = solver._slab(full)
-        solver.step_count = 0
-        restored = 0
-    else:
-        snap = disk.read(gid, grid_comm.rank, common)
-        if snap is None:  # pragma: no cover - history too short
-            raise RuntimeError(
-                f"checkpoint step {common} missing for grid {gid} rank "
-                f"{grid_comm.rank}; increase Disk.KEEP")
-        cost = await ctx.disk_read(snap["u"].nbytes)
-        solver.restore(snap)
-        restored = common
+    with ctx.span("checkpoint_read", gid=gid):
+        my_latest = disk.latest_step(gid, grid_comm.rank)
+        common = await grid_comm.allreduce(
+            0 if my_latest is None else my_latest, op=MIN)
+        if common <= 0:
+            cost = await ctx.disk_read(solver.u.nbytes)
+            from ..pde.lax_wendroff import periodic_from_initial
+            full = periodic_from_initial(solver.problem, solver.level_x,
+                                         solver.level_y)
+            solver.u = solver._slab(full)
+            solver.step_count = 0
+            restored = 0
+        else:
+            snap = disk.read(gid, grid_comm.rank, common)
+            if snap is None:  # pragma: no cover - history too short
+                raise RuntimeError(
+                    f"checkpoint step {common} missing for grid {gid} rank "
+                    f"{grid_comm.rank}; increase Disk.KEEP")
+            cost = await ctx.disk_read(snap["u"].nbytes)
+            solver.restore(snap)
+            restored = common
     if stats is not None:
         stats.read_time += cost
     return restored

@@ -76,6 +76,13 @@ class FailureGenerator:
         seconds.  Victims are drawn without replacement under the usual
         constraints — this models the paper's premise that "the failure
         rate of a system is roughly proportional to the number of cores".
+
+        The replica-pair constraint applies per *instant*, not across the
+        whole horizon: RC only loses data when both copies die in the same
+        failure event — a partner lost at a later time hits an
+        already-recovered grid.  (An earlier version accumulated every past
+        victim into the conflict check, so long horizons spuriously ran
+        out of killable ranks.)
         """
         kills: List[Kill] = []
         used: Set[int] = set()
@@ -90,9 +97,10 @@ class FailureGenerator:
             remaining = [r for r in candidates if r not in used]
             if not remaining:
                 break
+            simultaneous = [k.rank for k in kills if k.at == t]
             for _ in range(1000):
                 victim = self.rng.choice(remaining)
-                if not self._violates(sorted(used | {victim})):
+                if not self._violates(sorted(set(simultaneous) | {victim})):
                     used.add(victim)
                     kills.append(Kill(victim, t))
                     break
@@ -100,8 +108,18 @@ class FailureGenerator:
                 break  # constraints exhausted
         return kills
 
+    @staticmethod
+    def sort_schedule(kills: Sequence[Kill]) -> List[Kill]:
+        """Deterministic injection order: by time, ties by rank."""
+        return sorted(kills, key=lambda k: (k.at, k.rank))
+
     # ------------------------------------------------------------------
     def inject(self, universe, job, kills: Sequence[Kill]) -> None:
-        """Schedule the kills on the universe (SIGKILL at virtual time)."""
-        for kill in kills:
+        """Schedule the kills on the universe (SIGKILL at virtual time).
+
+        The schedule is sorted (time, then rank) before scheduling so that
+        callers passing an unordered plan get the same engine event order
+        — and hence the same simulation — as a sorted one.
+        """
+        for kill in self.sort_schedule(kills):
             universe.kill_rank(job, kill.rank, at=kill.at)

@@ -119,15 +119,20 @@ async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
     wtime = ctx.wtime
 
     for _attempt in range(max_attempts):
-        broken_comm.revoke()                                 # Fig. 5 l.2
-        t0 = wtime()
-        shrunk = await broken_comm.shrink()                  # Fig. 5 l.3
-        shrink_time = wtime() - t0
-        t.shrink += shrink_time
+        with ctx.span("detect", attempt=_attempt):
+            # the failed-process list is derived *from* the shrunk
+            # communicator, so its cost includes the shrink (Fig. 8a)
+            broken_comm.revoke()                             # Fig. 5 l.2
+            t0 = wtime()
+            with ctx.span("shrink", attempt=_attempt):
+                shrunk = await broken_comm.shrink()          # Fig. 5 l.3
+            shrink_time = wtime() - t0
+            t.shrink += shrink_time
 
-        t0 = wtime()
-        failed_ranks, total_failed = failed_procs_list(broken_comm, shrunk)
-        t.failed_list += (wtime() - t0) + shrink_time  # list incl. shrink
+            t0 = wtime()
+            failed_ranks, total_failed = failed_procs_list(broken_comm,
+                                                           shrunk)
+            t.failed_list += (wtime() - t0) + shrink_time  # list incl. shrink
         for r in failed_ranks:  # accumulate across repeated repairs
             if r not in t.failed_ranks:
                 t.failed_ranks.append(r)
@@ -137,16 +142,19 @@ async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
 
         try:
             t0 = wtime()
-            inter = await shrunk.spawn_multiple(             # Fig. 5 l.13
-                total_failed, entry, argv, host_names=host_names)
+            with ctx.span("spawn", attempt=_attempt):
+                inter = await shrunk.spawn_multiple(         # Fig. 5 l.13
+                    total_failed, entry, argv, host_names=host_names)
             t.spawn += wtime() - t0
 
             t0 = wtime()
-            unordered = await inter.merge(high=False)        # Fig. 5 l.14
+            with ctx.span("merge", attempt=_attempt):
+                unordered = await inter.merge(high=False)    # Fig. 5 l.14
             t.merge += wtime() - t0
 
             t0 = wtime()
-            await inter.agree(1)                             # Fig. 5 l.15
+            with ctx.span("agree", attempt=_attempt):
+                await inter.agree(1)                         # Fig. 5 l.15
             t.agree += wtime() - t0
 
             shrunk_size = shrunk.size
@@ -191,24 +199,28 @@ async def communicator_reconstruct(ctx, my_world, *, entry: Callable,
                 reconstructed = my_world                     # Fig. 3 l.8
             reconstructed.set_errhandler(handler)            # Fig. 3 l.11
             t0 = ctx.wtime()
-            await reconstructed.agree(1)                     # Fig. 3 l.12
+            with ctx.span("agree"):
+                await reconstructed.agree(1)                 # Fig. 3 l.12
             t.agree += ctx.wtime() - t0
             try:
                 await reconstructed.barrier()                # Fig. 3 l.13
             except MPIError:
                 t0 = ctx.wtime()
-                reconstructed = await repair_comm(           # Fig. 3 l.15
-                    ctx, reconstructed, entry=entry, argv=argv,
-                    placement=placement, timers=t)
+                with ctx.span("reconstruct"):
+                    reconstructed = await repair_comm(       # Fig. 3 l.15
+                        ctx, reconstructed, entry=entry, argv=argv,
+                        placement=placement, timers=t)
                 t.reconstruct += ctx.wtime() - t0
                 failure = True
         else:                                                # child branch
             parent.set_errhandler(handler)                   # Fig. 3 l.20
             try:
-                await parent.agree(1)                        # Fig. 3 l.21
-                unordered = await parent.merge(high=True)    # Fig. 3 l.22
-                old_rank = await unordered.recv(source=0, tag=MERGE_TAG)
-                reconstructed = await unordered.split(0, old_rank)  # l.24
+                with ctx.span("agree"):
+                    await parent.agree(1)                    # Fig. 3 l.21
+                with ctx.span("merge"):
+                    unordered = await parent.merge(high=True)  # Fig. 3 l.22
+                    old_rank = await unordered.recv(source=0, tag=MERGE_TAG)
+                    reconstructed = await unordered.split(0, old_rank)  # l.24
             except MPIError:
                 # the repair attempt we belong to was aborted (another
                 # failure); the parents retry with fresh replacements and

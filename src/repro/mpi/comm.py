@@ -264,9 +264,7 @@ class CommHandle:
             await Sleep(cost)
         if state.revoked:
             self._raise(RevokedError(f"{state.name} revoked during send"))
-        stats = self._stats
-        stats.messages += 1
-        stats.bytes_sent += nbytes
+        self._stats.record_message(nbytes)
         uni = state.universe
         if uni.tracer is not None:
             uni.trace(self.proc.name, "send",

@@ -2,36 +2,151 @@
 
 Useful for performance debugging and for the documentation examples — a
 cheap, always-on profiler of the simulated MPI traffic.
+
+Since the observability layer landed, :class:`CommStats` is a thin facade
+over a :class:`~repro.obs.registry.MetricsRegistry`: every counter it
+exposes is a registry instrument (``mpi_messages``, ``mpi_bytes_sent``,
+``mpi_collectives{op=...}``, ...), so MPI traffic shows up in the same
+machine-readable snapshot as the recovery-phase timings.  The historical
+attribute API (``stats.messages``, ``stats.collectives["barrier"]``,
+``summary()``) is preserved; hot paths keep direct references to the
+underlying instruments, so the facade costs nothing per message.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..obs.registry import Counter, MetricsRegistry
 
 
-@dataclass
+class _CollectivesView:
+    """Mapping-style view of the ``mpi_collectives`` counter family.
+
+    Behaves like the ``collections.Counter`` it replaced: indexing a
+    missing op reads 0, ``[op] += 1`` works (and lands in the registry),
+    iteration yields op names.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+
+    def _counters(self) -> Dict[str, Counter]:
+        return {dict(c.labels)["op"]: c
+                for c in self._registry.counters("mpi_collectives")}
+
+    def __getitem__(self, op: str) -> int:
+        return self._registry.counter("mpi_collectives", op=op).value
+
+    def __setitem__(self, op: str, value: int) -> None:
+        self._registry.counter("mpi_collectives", op=op).value = value
+
+    def __contains__(self, op: str) -> bool:
+        return op in self._counters()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counters()))
+
+    def __len__(self) -> int:
+        return len(self._counters())
+
+    def items(self):
+        return sorted((op, c.value) for op, c in self._counters().items())
+
+    def keys(self):
+        return [op for op, _ in self.items()]
+
+    def values(self):
+        return [v for _, v in self.items()]
+
+    def total(self) -> int:
+        return sum(c.value for c in self._counters().values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_CollectivesView({dict(self.items())!r})"
+
+    def __eq__(self, other) -> bool:
+        return dict(self.items()) == dict(other)
+
+
 class CommStats:
     """Aggregate counters over one universe's lifetime."""
 
-    messages: int = 0
-    bytes_sent: int = 0
-    collectives: Counter = field(default_factory=Counter)
-    comms_created: int = 0
-    spawns: int = 0
-    procs_spawned: int = 0
-    kills: int = 0
+    __slots__ = ("registry", "_messages", "_bytes", "_comms", "_spawns",
+                 "_procs_spawned", "_kills", "collectives")
 
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._messages = self.registry.counter("mpi_messages")
+        self._bytes = self.registry.counter("mpi_bytes_sent")
+        self._comms = self.registry.counter("mpi_comms_created")
+        self._spawns = self.registry.counter("mpi_spawns")
+        self._procs_spawned = self.registry.counter("mpi_procs_spawned")
+        self._kills = self.registry.counter("mpi_kills")
+        self.collectives = _CollectivesView(self.registry)
+
+    # -- hot path ------------------------------------------------------
     def record_message(self, nbytes: int) -> None:
-        self.messages += 1
-        self.bytes_sent += nbytes
+        self._messages.value += 1
+        self._bytes.value += nbytes
 
     def record_collective(self, op_name: str) -> None:
-        self.collectives[op_name] += 1
+        self.registry.counter("mpi_collectives", op=op_name).value += 1
 
+    # -- attribute facade (reads and ``+=`` both work) -----------------
+    @property
+    def messages(self) -> int:
+        return self._messages.value
+
+    @messages.setter
+    def messages(self, value: int) -> None:
+        self._messages.value = value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes.value
+
+    @bytes_sent.setter
+    def bytes_sent(self, value: int) -> None:
+        self._bytes.value = value
+
+    @property
+    def comms_created(self) -> int:
+        return self._comms.value
+
+    @comms_created.setter
+    def comms_created(self, value: int) -> None:
+        self._comms.value = value
+
+    @property
+    def spawns(self) -> int:
+        return self._spawns.value
+
+    @spawns.setter
+    def spawns(self, value: int) -> None:
+        self._spawns.value = value
+
+    @property
+    def procs_spawned(self) -> int:
+        return self._procs_spawned.value
+
+    @procs_spawned.setter
+    def procs_spawned(self, value: int) -> None:
+        self._procs_spawned.value = value
+
+    @property
+    def kills(self) -> int:
+        return self._kills.value
+
+    @kills.setter
+    def kills(self, value: int) -> None:
+        self._kills.value = value
+
+    # ------------------------------------------------------------------
     def summary(self) -> str:
-        colls = ", ".join(f"{k}:{v}" for k, v in
-                          sorted(self.collectives.items()))
+        colls = ", ".join(f"{k}:{v}" for k, v in self.collectives.items())
         return (f"messages={self.messages} bytes={self.bytes_sent} "
                 f"comms={self.comms_created} spawns={self.spawns} "
                 f"(+{self.procs_spawned} procs) kills={self.kills} "

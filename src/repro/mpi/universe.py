@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..machine import Hostfile, MachineSpec
 from ..machine.presets import OPL
+from ..obs import Observability
 from ..simkernel import Engine, Sleep
 from .comm import CommHandle, CommState
 from .intercomm import IntercommHandle, IntercommState
@@ -71,6 +72,14 @@ class RankContext:
         """``MPI_Wtime`` — current virtual time."""
         return self.universe.engine.now
 
+    def span(self, phase: str, **labels):
+        """Open a recovery-phase span for this rank (context manager).
+
+        Spans accumulate in ``universe.obs`` per actor and label (e.g.
+        ``technique``, ``gid``); see :mod:`repro.obs.spans`.
+        """
+        return self.universe.obs.span(self.proc.name, phase, **labels)
+
     # -- virtual costs ---------------------------------------------------
     async def compute(self, seconds: float = 0.0, *, flops: float = 0.0):
         """Charge computation to the virtual clock."""
@@ -125,7 +134,10 @@ class Universe:
         self.hostfile = hostfile
         self.jobs: List[Job] = []
         self.all_procs: Dict[int, Proc] = {}
-        self.stats = CommStats()
+        #: observability bundle: metrics registry + recovery-phase spans
+        #: (closing a span also lands in ``tracer`` when one is attached)
+        self.obs = Observability(self.engine.stamp, self.trace)
+        self.stats = CommStats(self.obs.registry)
         #: optional MPI-level event recorder (see repro.mpi.tracing)
         self.tracer = None
         #: when True, communicators attach per-operation debugging

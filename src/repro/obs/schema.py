@@ -1,0 +1,87 @@
+"""Schema validation for the machine-readable observability outputs.
+
+CI runs an instrumented experiment, exports a timeline, and feeds both
+through these validators (``scripts/validate_obs.py``) — a schema break in
+``--json`` output or the Chrome trace fails the build rather than the
+next person's plotting script.
+
+All validators raise :class:`SchemaError` with a path-ish message on the
+first problem and return the document unchanged on success.
+"""
+
+from __future__ import annotations
+
+from .spans import PHASES
+
+
+class SchemaError(ValueError):
+    """A document does not match the published observability schema."""
+
+
+#: bump when the --json experiment document layout changes incompatibly
+EXPERIMENT_SCHEMA_VERSION = 1
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise SchemaError(msg)
+
+
+def validate_phase_breakdown(d, where: str = "phases") -> dict:
+    """A phase breakdown is ``{phase name: non-negative seconds}``."""
+    _require(isinstance(d, dict), f"{where}: expected an object, got "
+                                  f"{type(d).__name__}")
+    for phase, dur in d.items():
+        _require(phase in PHASES,
+                 f"{where}: unknown phase {phase!r} (known: {PHASES})")
+        _require(isinstance(dur, (int, float)) and not isinstance(dur, bool),
+                 f"{where}.{phase}: expected a number, got {dur!r}")
+        _require(dur >= 0.0, f"{where}.{phase}: negative duration {dur}")
+    return d
+
+
+def validate_experiment_doc(doc) -> dict:
+    """The ``--json`` output of every ``experiments/fig*.py`` / ``table1.py``."""
+    _require(isinstance(doc, dict), "document: expected an object")
+    for key in ("experiment", "schema_version", "points"):
+        _require(key in doc, f"document: missing key {key!r}")
+    _require(doc["schema_version"] == EXPERIMENT_SCHEMA_VERSION,
+             f"document: schema_version {doc['schema_version']!r} != "
+             f"{EXPERIMENT_SCHEMA_VERSION}")
+    _require(isinstance(doc["experiment"], str) and doc["experiment"],
+             "document: experiment must be a non-empty string")
+    points = doc["points"]
+    _require(isinstance(points, list) and points,
+             "document: points must be a non-empty list")
+    for i, pt in enumerate(points):
+        _require(isinstance(pt, dict), f"points[{i}]: expected an object")
+        if "phases" in pt:
+            validate_phase_breakdown(pt["phases"], f"points[{i}].phases")
+    return doc
+
+
+def validate_chrome_trace(doc) -> dict:
+    """Minimal structural check of a Chrome ``trace_event`` document."""
+    _require(isinstance(doc, dict), "trace: expected an object")
+    _require("traceEvents" in doc, "trace: missing traceEvents")
+    events = doc["traceEvents"]
+    _require(isinstance(events, list), "trace: traceEvents must be a list")
+    seen_complete = False
+    for i, ev in enumerate(events):
+        _require(isinstance(ev, dict), f"traceEvents[{i}]: expected object")
+        for key in ("name", "ph", "pid"):
+            _require(key in ev, f"traceEvents[{i}]: missing key {key!r}")
+        ph = ev["ph"]
+        _require(ph in ("X", "i", "M", "B", "E"),
+                 f"traceEvents[{i}]: unknown phase type {ph!r}")
+        if ph in ("X", "i"):
+            _require("ts" in ev and isinstance(ev["ts"], (int, float)),
+                     f"traceEvents[{i}]: missing numeric ts")
+        if ph == "X":
+            seen_complete = True
+            _require("dur" in ev and ev["dur"] >= 0,
+                     f"traceEvents[{i}]: complete event needs dur >= 0")
+    _require(seen_complete,
+             "trace: no complete ('X') phase spans — was the run "
+             "instrumented?")
+    return doc

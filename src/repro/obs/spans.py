@@ -1,0 +1,207 @@
+"""Recovery-phase spans — timed intervals over the fault-handling pipeline.
+
+A *span* is one rank's traversal of one phase: opened when the phase
+starts (e.g. at failure detection), closed when it completes, stamped with
+virtual start/end times and an engine sequence number so spans sharing a
+virtual timestamp still have a deterministic order.  The span set is the
+machine-readable form of the paper's timing breakdowns (Figs. 8-11,
+Table I): detection, communicator reconstruction (ack/agree, revoke+shrink,
+spawn+merge+split) and per-technique data recovery.
+
+Spans accumulate into the owning :class:`~repro.obs.registry.MetricsRegistry`
+(histogram ``phase_seconds`` labelled by phase/technique) and, when a
+:class:`~repro.mpi.tracing.Tracer` is attached, also land in the event
+stream (kind ``span``) so ``python -m repro timeline`` can render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .registry import MetricsRegistry
+
+#: canonical phase names, in pipeline order (the timeline exporter and the
+#: experiment JSON schema validate against this list)
+PHASES = (
+    "solve",             # failure-free stepping
+    "detect",            # failed-process list creation (Fig. 8a)
+    "agree",             # OMPI_Comm_agree round (Table I)
+    "shrink",            # revoke + OMPI_Comm_shrink (Table I)
+    "spawn",             # MPI_Comm_spawn_multiple (Table I)
+    "merge",             # MPI_Intercomm_merge + re-order split (Table I)
+    "reconstruct",       # whole Fig. 3/5 repair (Fig. 8b)
+    "checkpoint_write",  # CR periodic writes
+    "checkpoint_read",   # CR restore reads
+    "recompute",         # CR lost-step recomputation
+    "recovery",          # technique data-recovery window (Fig. 9a)
+    "combine",           # gather-scatter combination
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed phase interval on one rank."""
+
+    actor: str                 #: process name, e.g. ``job0.5``
+    phase: str
+    t_start: float
+    t_end: float
+    seq: int = 0               #: engine stamp — deterministic tie-break
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {"actor": self.actor, "phase": self.phase,
+                "t_start": self.t_start, "t_end": self.t_end,
+                "seq": self.seq, "labels": dict(self.labels)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(d["actor"], d["phase"], float(d["t_start"]),
+                   float(d["t_end"]), int(d.get("seq", 0)),
+                   dict(d.get("labels", {})))
+
+
+class _OpenSpan:
+    """Context manager returned by :meth:`SpanRecorder.span`."""
+
+    __slots__ = ("recorder", "actor", "phase", "labels", "t_start", "seq")
+
+    def __init__(self, recorder: "SpanRecorder", actor: str, phase: str,
+                 labels: Dict[str, str]):
+        self.recorder = recorder
+        self.actor = actor
+        self.phase = phase
+        self.labels = labels
+
+    def __enter__(self) -> "_OpenSpan":
+        self.t_start, self.seq = self.recorder.stamp()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # close even on error: a phase aborted by a further failure still
+        # consumed its time (the paper's retried repairs accumulate too)
+        self.recorder.close(self)
+        return None
+
+
+class SpanRecorder:
+    """Collects spans; aggregates per phase / per rank / per label.
+
+    ``stamp`` is a callable returning a monotone ``(virtual_time, seq)``
+    pair — normally :meth:`repro.simkernel.Engine.stamp`.
+    """
+
+    def __init__(self, stamp: Callable[[], tuple],
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_sink: Optional[Callable[[str, str, str], None]] = None,
+                 max_spans: int = 100_000):
+        self.stamp = stamp
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: ``trace_sink(actor, kind, detail)`` — normally ``Universe.trace``
+        self.trace_sink = trace_sink
+        self.spans: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def span(self, actor: str, phase: str, **labels) -> _OpenSpan:
+        """Open a phase span; use as a context manager."""
+        return _OpenSpan(self, actor, phase,
+                         {k: str(v) for k, v in labels.items()})
+
+    def close(self, open_span: _OpenSpan) -> Optional[Span]:
+        t_end, _ = self.stamp()
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return None
+        s = Span(open_span.actor, open_span.phase, open_span.t_start, t_end,
+                 open_span.seq, open_span.labels)
+        self.spans.append(s)
+        self.registry.histogram(
+            "phase_seconds", phase=s.phase,
+            technique=s.labels.get("technique", "")).observe(s.duration)
+        if self.trace_sink is not None:
+            extra = "".join(f" {k}={v}" for k, v in sorted(s.labels.items()))
+            self.trace_sink(
+                s.actor, "span",
+                f"{s.phase} start={s.t_start:.9f} dur={s.duration:.9f}"
+                f"{extra}")
+        return s
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def phase_totals(self, reduce: str = "max") -> Dict[str, float]:
+        """Per-phase time, reduced across actors.
+
+        ``reduce="max"`` (default) gives the wall-clock view: ranks run a
+        phase concurrently, so the slowest rank's accumulated time is the
+        run's cost — the same convention the paper's figures use.
+        ``reduce="sum"`` gives total process-time (the Fig. 9b currency).
+        """
+        if reduce not in ("max", "sum"):
+            raise ValueError(f"reduce must be 'max' or 'sum', got {reduce!r}")
+        per_actor = self.by_actor()
+        totals: Dict[str, float] = {}
+        for phases in per_actor.values():
+            for phase, dur in phases.items():
+                if reduce == "sum":
+                    totals[phase] = totals.get(phase, 0.0) + dur
+                else:
+                    totals[phase] = max(totals.get(phase, 0.0), dur)
+        return totals
+
+    def by_actor(self) -> Dict[str, Dict[str, float]]:
+        """actor -> phase -> accumulated seconds."""
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.spans:
+            out.setdefault(s.actor, {})
+            out[s.actor][s.phase] = \
+                out[s.actor].get(s.phase, 0.0) + s.duration
+        return out
+
+    def by_label(self, key: str) -> Dict[str, Dict[str, float]]:
+        """label value -> phase -> accumulated seconds (spans lacking the
+        label are skipped); e.g. ``by_label("gid")`` for per-grid totals."""
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.spans:
+            val = s.labels.get(key)
+            if val is None:
+                continue
+            out.setdefault(val, {})
+            out[val][s.phase] = out[val].get(s.phase, 0.0) + s.duration
+        return out
+
+    def to_dicts(self) -> List[dict]:
+        return [s.to_dict() for s in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class Observability:
+    """Bundle of one simulation's registry + span recorder.
+
+    Owned by :class:`repro.mpi.universe.Universe`; ranks reach it through
+    ``ctx.span(...)`` / ``ctx.universe.obs``.
+    """
+
+    def __init__(self, stamp: Callable[[], tuple],
+                 trace_sink: Optional[Callable[[str, str, str], None]] = None):
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(stamp, self.registry, trace_sink)
+
+    def span(self, actor: str, phase: str, **labels) -> _OpenSpan:
+        return self.spans.span(actor, phase, **labels)
+
+    def phase_totals(self, reduce: str = "max") -> Dict[str, float]:
+        return self.spans.phase_totals(reduce)
+
+    def to_dict(self) -> dict:
+        return {"metrics": self.registry.to_dict(),
+                "spans": self.spans.to_dicts()}

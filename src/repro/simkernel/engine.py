@@ -147,6 +147,18 @@ class Engine:
             self._seq += 1
             heapq.heappush(self._queue, _Event(time, self._seq, kind, a, b, c))
 
+    def stamp(self) -> tuple:
+        """Monotone ``(now, seq)`` pair for observability ordering.
+
+        Span recorders need a deterministic order for intervals that open
+        or close at the same virtual instant; the scheduler's global
+        sequence counter provides exactly that tie-break.  Consuming a seq
+        here is safe: scheduling only requires ``seq`` to be monotone, not
+        dense.
+        """
+        self._seq += 1
+        return (self.now, self._seq)
+
     def call_at(self, time: float, fn, *args) -> None:
         """Run ``fn(*args)`` at virtual time ``time`` (>= now)."""
         self._schedule(max(time, self.now), _EV_CALL, fn, args, None)

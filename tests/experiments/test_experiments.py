@@ -34,10 +34,27 @@ def test_check_monotone():
     assert check_monotone_increasing([3.0, 2.9], slack=0.05)
 
 
+def test_check_monotone_negative_values():
+    """Slack is relative to |a|: the old ``a * (1 - slack)`` form demanded
+    *more* of successors of negative values, rejecting monotone series."""
+    assert check_monotone_increasing([-3.0, -2.0, -1.0], slack=0.05)
+    assert check_monotone_increasing([-10.0, -10.5], slack=0.1)
+    assert not check_monotone_increasing([-10.0, -12.0], slack=0.1)
+    assert not check_monotone_increasing([-1.0, -3.0], slack=0.05)
+
+
 def test_geometric_mean():
     assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
     assert geometric_mean([]) == 0.0
-    assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)
+    with pytest.warns(RuntimeWarning, match="dropped 1 non-positive"):
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_strict_raises():
+    with pytest.raises(ValueError, match="non-positive"):
+        geometric_mean([0.0, 2.0], strict=True)
+    # all-positive input stays silent in both modes
+    assert geometric_mean([2.0, 8.0], strict=True) == pytest.approx(4.0)
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,30 @@ def test_disk_history_bounded():
     assert d.latest_step(0, 0) == 9
 
 
+def test_disk_read_returns_owned_copy():
+    """Regression: ``Disk.read`` used to return a shallow copy whose ``u``
+    aliased the stored array — a caller stepping in place after a restore
+    corrupted the checkpoint it had just read."""
+    d = Disk()
+    d.write(0, 0, {"u": np.arange(4.0), "step_count": 1,
+                   "level_x": 2, "level_y": 2})
+    first = d.read(0, 0, 1)
+    first["u"][:] = -999.0        # simulate in-place stepping post-restore
+    second = d.read(0, 0, 1)
+    assert np.array_equal(second["u"], np.arange(4.0))
+    assert second["u"] is not first["u"]
+
+
+def test_disk_write_detaches_from_caller_array():
+    """The store must also own its copy on write: the caller keeps
+    stepping its solver array after a checkpoint."""
+    d = Disk()
+    u = np.arange(4.0)
+    d.write(0, 0, {"u": u, "step_count": 1, "level_x": 2, "level_y": 2})
+    u[:] = 7.0                    # caller continues stepping in place
+    assert np.array_equal(d.read(0, 0, 1)["u"], np.arange(4.0))
+
+
 def test_disk_counters():
     d = Disk()
     d.write(0, 0, {"u": np.zeros(4), "step_count": 1,
@@ -111,6 +135,28 @@ def test_coordinated_restore_rolls_back_to_common_step():
 
     res, _ = run(2, main)
     assert res == [(4, 4), (4, 4)]
+
+
+def test_restore_step_rerestore_bit_identical():
+    """Restoring, stepping (in place, via the ``*_into`` kernels), and
+    restoring again must give bit-identical state both times — the
+    aliasing bug made the second restore return post-failure garbage."""
+    disk = Disk()
+
+    async def main(ctx):
+        sol = DistributedAdvectionSolver(ctx, ctx.comm, PROB, 4, 4,
+                                         PROB.stable_dt(4))
+        await sol.step(3)
+        await write_checkpoint(ctx, disk, 0, ctx.comm.rank, sol)
+        await restore_checkpoint(ctx, disk, 0, ctx.comm, sol)
+        first = sol.u.copy()
+        await sol.step(5)          # mutate the restored array in place
+        await restore_checkpoint(ctx, disk, 0, ctx.comm, sol)
+        assert sol.step_count == 3
+        return np.array_equal(first, sol.u)  # bit-identical, not allclose
+
+    res, _ = run(2, main)
+    assert res == [True, True]
 
 
 def test_restore_without_any_checkpoint_resets_to_initial():

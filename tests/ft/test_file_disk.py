@@ -40,6 +40,35 @@ def test_history_pruned_on_disk(tmp_path):
     assert disk.read(0, 0, 5)["step_count"] == 5
 
 
+def test_pruning_round_trip(tmp_path):
+    """Index and filesystem must agree through pruning: whatever
+    ``available_steps`` reports is exactly the set of files on disk, and
+    every retained step reads back its own payload."""
+    disk = FileDisk(tmp_path)
+    for step in range(6):
+        disk.write(0, 0, snap(step))
+    assert disk.available_steps(0, 0) == (3, 4, 5)
+    # step 1 was evicted: index AND file
+    assert disk.read(0, 0, 1) is None
+    assert not (tmp_path / "ckpt_g0_r0_s1.npz").exists()
+    # re-writing a step older than the retained window evicts itself;
+    # its file must not linger (read trusts the filesystem)
+    disk.write(0, 0, snap(1))
+    assert disk.available_steps(0, 0) == (3, 4, 5)
+    assert disk.read(0, 0, 1) is None
+    assert not (tmp_path / "ckpt_g0_r0_s1.npz").exists()
+    # a newer step rolls the window forward
+    disk.write(0, 0, snap(6))
+    assert disk.available_steps(0, 0) == (4, 5, 6)
+    files = {p.name for p in tmp_path.glob("*.npz")}
+    assert files == {"ckpt_g0_r0_s4.npz", "ckpt_g0_r0_s5.npz",
+                     "ckpt_g0_r0_s6.npz"}
+    for step in (4, 5, 6):
+        back = disk.read(0, 0, step)
+        assert back["step_count"] == step
+        assert np.allclose(back["u"], float(step))
+
+
 def test_separate_keys_separate_files(tmp_path):
     disk = FileDisk(tmp_path)
     disk.write(0, 0, snap(4))

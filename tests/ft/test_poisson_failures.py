@@ -46,9 +46,51 @@ def test_poisson_plan_deterministic():
 @given(st.integers(0, 100))
 @settings(max_examples=30)
 def test_poisson_constraints_hold(seed):
+    """Replica-pair conflicts are a *simultaneity* constraint: no two
+    ranks of a conflicting grid pair may die at the same instant.  A
+    pair spread across different failure times is legal — the first
+    victim's grid has been recovered by the time the partner dies."""
     gen = FailureGenerator(seed, conflict_pairs=[(0, 1)],
                            rank_to_grid=lambda r: r // 4)
     kills = gen.poisson_plan(16, mtbf=0.2, horizon=5.0)
-    grids = {k.rank // 4 for k in kills}
-    assert not ({0, 1} <= grids)
+    by_time = {}
+    for k in kills:
+        by_time.setdefault(k.at, set()).add(k.rank // 4)
+    for grids in by_time.values():
+        assert not ({0, 1} <= grids)
     assert all(k.rank != 0 for k in kills)
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=50)
+def test_poisson_pair_allowed_across_time(seed):
+    """The old injector accumulated every past victim into the conflict
+    check, so with enough failures a conflicting pair could never *both*
+    die over the whole horizon — starving long-horizon plans.  With a
+    dense plan over a tiny world, both grids of the pair must eventually
+    be hit (at different instants)."""
+    gen = FailureGenerator(seed, conflict_pairs=[(0, 1)],
+                           rank_to_grid=lambda r: r // 4)
+    # world of 8 -> grids {0, 1} only (rank 0 protected); mtbf small
+    # enough that every killable rank is eventually consumed
+    kills = gen.poisson_plan(8, mtbf=0.01, horizon=1000.0)
+    assert len(kills) == 7  # every unprotected rank dies eventually
+    grids = {k.rank // 4 for k in kills}
+    assert grids == {0, 1}
+
+
+def test_inject_sorts_schedule():
+    from repro.ft.failure_injection import Kill
+
+    class _Uni:
+        def __init__(self):
+            self.calls = []
+
+        def kill_rank(self, job, rank, at=None):
+            self.calls.append((at, rank))
+
+    gen = FailureGenerator()
+    uni = _Uni()
+    plan = [Kill(5, 3.0), Kill(2, 1.0), Kill(7, 1.0), Kill(1, 2.0)]
+    gen.inject(uni, job=None, kills=plan)
+    assert uni.calls == [(1.0, 2), (1.0, 7), (2.0, 1), (3.0, 5)]

@@ -1,0 +1,75 @@
+"""Validators for the machine-readable observability outputs."""
+
+import pytest
+
+from repro.obs import (EXPERIMENT_SCHEMA_VERSION, SchemaError,
+                       validate_chrome_trace, validate_experiment_doc,
+                       validate_phase_breakdown)
+
+
+def good_doc():
+    return {"experiment": "fig9",
+            "schema_version": EXPERIMENT_SCHEMA_VERSION,
+            "points": [{"technique": "CR", "n_lost": 1,
+                        "phases": {"recovery": 1.5, "combine": 0.25}}]}
+
+
+def test_phase_breakdown_accepts_known_phases():
+    validate_phase_breakdown({"shrink": 0.0, "spawn": 1.25})
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ({"warp": 1.0}, "unknown phase"),
+    ({"shrink": -0.1}, "negative"),
+    ({"shrink": "fast"}, "number"),
+    ({"shrink": True}, "number"),
+    ([("shrink", 1.0)], "object"),
+])
+def test_phase_breakdown_rejects(bad, msg):
+    with pytest.raises(SchemaError, match=msg):
+        validate_phase_breakdown(bad)
+
+
+def test_experiment_doc_valid():
+    doc = good_doc()
+    assert validate_experiment_doc(doc) is doc
+
+
+@pytest.mark.parametrize("mutate,msg", [
+    (lambda d: d.pop("experiment"), "missing key"),
+    (lambda d: d.pop("points"), "missing key"),
+    (lambda d: d.update(schema_version=99), "schema_version"),
+    (lambda d: d.update(points=[]), "non-empty"),
+    (lambda d: d.update(points=["row"]), "expected an object"),
+    (lambda d: d["points"][0].update(phases={"warp": 1.0}), "unknown phase"),
+])
+def test_experiment_doc_rejects(mutate, msg):
+    doc = good_doc()
+    mutate(doc)
+    with pytest.raises(SchemaError, match=msg):
+        validate_experiment_doc(doc)
+
+
+def test_chrome_trace_valid():
+    doc = {"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 0, "args": {}},
+        {"name": "shrink", "ph": "X", "pid": 0, "tid": 1,
+         "ts": 1e6, "dur": 5e5},
+        {"name": "send", "ph": "i", "pid": 0, "tid": 1, "ts": 2e6},
+    ]}
+    assert validate_chrome_trace(doc) is doc
+
+
+@pytest.mark.parametrize("doc,msg", [
+    ({}, "missing traceEvents"),
+    ({"traceEvents": "x"}, "must be a list"),
+    ({"traceEvents": [{"ph": "X", "pid": 0}]}, "missing key 'name'"),
+    ({"traceEvents": [{"name": "a", "ph": "Z", "pid": 0}]}, "unknown phase"),
+    ({"traceEvents": [{"name": "a", "ph": "X", "pid": 0, "ts": 0.0}]},
+     "dur"),
+    ({"traceEvents": [{"name": "a", "ph": "i", "pid": 0, "ts": 0.0}]},
+     "no complete"),
+])
+def test_chrome_trace_rejects(doc, msg):
+    with pytest.raises(SchemaError, match=msg):
+        validate_chrome_trace(doc)

@@ -1,0 +1,144 @@
+"""Span recorder: phase timing, aggregation, trace emission."""
+
+import pytest
+
+from repro.obs import PHASES, Observability, Span, SpanRecorder
+
+
+class FakeClock:
+    """Deterministic (time, seq) stamp source."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.seq = 0
+
+    def stamp(self):
+        self.seq += 1
+        return (self.now, self.seq)
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_span_records_duration_and_labels():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with rec.span("job0.0", "shrink", technique="CR", gid=3):
+        clk.advance(1.5)
+    (s,) = rec.spans
+    assert s.phase == "shrink"
+    assert s.duration == pytest.approx(1.5)
+    assert s.labels == {"technique": "CR", "gid": "3"}
+
+
+def test_span_closes_on_exception():
+    """An aborted phase (another failure mid-repair) still consumed time."""
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with pytest.raises(RuntimeError):
+        with rec.span("job0.0", "spawn"):
+            clk.advance(2.0)
+            raise RuntimeError("failure during repair")
+    (s,) = rec.spans
+    assert s.phase == "spawn" and s.duration == pytest.approx(2.0)
+
+
+def test_nested_spans_both_recorded():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with rec.span("r0", "detect"):
+        clk.advance(0.5)
+        with rec.span("r0", "shrink"):
+            clk.advance(1.0)
+        clk.advance(0.25)
+    by_phase = {s.phase: s.duration for s in rec.spans}
+    assert by_phase["shrink"] == pytest.approx(1.0)
+    assert by_phase["detect"] == pytest.approx(1.75)
+
+
+def test_phase_totals_max_vs_sum():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with rec.span("r0", "merge"):
+        clk.advance(1.0)
+    clk.now = 0.0
+    with rec.span("r1", "merge"):
+        clk.advance(3.0)
+    assert rec.phase_totals()["merge"] == pytest.approx(3.0)     # max
+    assert rec.phase_totals("sum")["merge"] == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        rec.phase_totals("median")
+
+
+def test_by_actor_and_by_label():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with rec.span("r0", "recovery", gid=2):
+        clk.advance(1.0)
+    with rec.span("r0", "recovery", gid=2):
+        clk.advance(0.5)
+    with rec.span("r1", "combine"):
+        clk.advance(2.0)
+    assert rec.by_actor()["r0"]["recovery"] == pytest.approx(1.5)
+    per_grid = rec.by_label("gid")
+    assert per_grid["2"]["recovery"] == pytest.approx(1.5)
+    assert "combine" not in per_grid.get("2", {})  # span had no gid label
+
+
+def test_spans_observed_into_registry_histogram():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp)
+    with rec.span("r0", "shrink", technique="RC"):
+        clk.advance(0.75)
+    (h,) = rec.registry.histograms("phase_seconds")
+    assert h.count == 1 and h.sum == pytest.approx(0.75)
+    assert dict(h.labels) == {"phase": "shrink", "technique": "RC"}
+
+
+def test_spans_emitted_to_trace_sink():
+    clk = FakeClock()
+    sunk = []
+    rec = SpanRecorder(clk.stamp,
+                       trace_sink=lambda a, k, d: sunk.append((a, k, d)))
+    clk.advance(2.0)
+    with rec.span("job0.3", "reconstruct", attempt=0):
+        clk.advance(4.0)
+    (actor, kind, detail) = sunk[0]
+    assert actor == "job0.3" and kind == "span"
+    assert detail.startswith("reconstruct start=2.0")
+    assert "dur=4.0" in detail and "attempt=0" in detail
+
+
+def test_max_spans_bound():
+    clk = FakeClock()
+    rec = SpanRecorder(clk.stamp, max_spans=2)
+    for _ in range(5):
+        with rec.span("r0", "solve"):
+            clk.advance(0.1)
+    assert len(rec) == 2
+    assert rec.dropped == 3
+
+
+def test_span_dict_round_trip():
+    s = Span("r0", "agree", 1.0, 2.5, 7, {"technique": "AC"})
+    assert Span.from_dict(s.to_dict()) == s
+
+
+def test_observability_bundle():
+    clk = FakeClock()
+    obs = Observability(clk.stamp)
+    with obs.span("r0", "checkpoint_write", gid=0):
+        clk.advance(3.52)
+    assert obs.phase_totals()["checkpoint_write"] == pytest.approx(3.52)
+    doc = obs.to_dict()
+    assert doc["spans"][0]["phase"] == "checkpoint_write"
+    assert doc["metrics"]["histograms"]
+
+
+def test_phase_names_are_canonical():
+    """Every phase the instrumentation emits must be in PHASES — the
+    schema validator rejects unknown names."""
+    for p in ("solve", "detect", "agree", "shrink", "spawn", "merge",
+              "reconstruct", "checkpoint_write", "checkpoint_read",
+              "recompute", "recovery", "combine"):
+        assert p in PHASES

@@ -101,3 +101,64 @@ def test_run_machine_optimal_checkpoints(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "checkpoints" in out
+
+
+def test_run_prints_phase_breakdown(capsys):
+    rc = main(["run", "--technique", "CR", "--n", "6", "--steps", "8",
+               "--diag-procs", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "phase breakdown" in out
+    assert "checkpoint_write" in out and "combine" in out
+
+
+def test_run_json_includes_phase_breakdown(capsys):
+    rc = main(["run", "--technique", "CR", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert data["phase_breakdown"]["checkpoint_write"] > 0
+    assert "phase_by_grid" in data
+
+
+def test_experiment_json_document(tmp_path, capsys):
+    from repro.obs import validate_experiment_doc
+    out_path = tmp_path / "fig10.json"
+    rc = main(["experiment", "fig10", "--quick", "--json", str(out_path)])
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    validate_experiment_doc(doc)
+    assert doc["experiment"] == "fig10"
+    assert doc["params"] == {"quick": True}
+    assert any(pt["phases"] for pt in doc["points"])
+
+
+def test_experiment_json_stdout(capsys):
+    rc = main(["experiment", "fig9", "--quick", "--json", "-"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    doc = json.loads(out)
+    assert doc["experiment"] == "fig9"
+    assert all("phases" in pt for pt in doc["points"])
+
+
+def test_timeline_from_traced_run(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+    trace = tmp_path / "trace.jsonl"
+    timeline = tmp_path / "timeline.json"
+    rc = main(["run", "--technique", "CR", "--n", "6", "--steps", "8",
+               "--diag-procs", "2", "--failures", "1",
+               "--trace", str(trace)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["timeline", str(trace), "-o", str(timeline)])
+    assert rc == 0
+    doc = json.loads(timeline.read_text())
+    validate_chrome_trace(doc)
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "reconstruct" in names
+
+
+def test_timeline_missing_file_errors():
+    with pytest.raises(SystemExit, match="no such trace file"):
+        main(["timeline", "/nonexistent/trace.jsonl"])
