@@ -18,6 +18,7 @@ Usage::
 
     PYTHONPATH=src python scripts/bench.py [-o BENCH_substrate.json]
     PYTHONPATH=src python scripts/bench.py --smoke   # CI: runs, no JSON
+    PYTHONPATH=src python scripts/bench.py --experiments  # sweep engine
 
 Each measurement is the best of ``--repeats`` runs (default 3) — wall
 time of the fastest run, which is the least noisy estimator on a shared
@@ -25,6 +26,12 @@ machine.  ``--smoke`` shrinks every workload to a few iterations, runs
 each once and skips the JSON write: it proves the benchmark harness
 still executes (imports, workloads, stat plumbing) in seconds, without
 producing numbers anyone should read.
+
+``--experiments`` benchmarks the sweep engine instead (emitting
+``BENCH_experiments.json``): a headline-shaped fig9 sweep serial vs
+4-worker pool vs warm-cache rerun, plus fig11's intrinsic cache-dedup
+rate.  Pool speedup is only meaningful on multicore hosts — the file
+records ``cpu_count`` so readers can judge the pool numbers.
 """
 
 from __future__ import annotations
@@ -124,16 +131,120 @@ def bench_solver(repeats: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# sweep-engine benchmark (--experiments -> BENCH_experiments.json)
+# ----------------------------------------------------------------------
+
+#: fig9 workload for the sweep benchmark (headline shape, reduced steps)
+SWEEP_FIG9 = dict(n=8, steps=8, diag_procs=8, seeds=(0, 1, 2))
+SWEEP_WORKERS = 4
+
+
+def bench_sweep_fig9() -> dict:
+    """Serial vs pooled vs warm-cache wall clock on one fig9 sweep."""
+    import os
+
+    from repro.experiments.fig9 import run_fig9
+    from repro.sweep import RunCache, SweepRunner
+
+    def timed(runner):
+        t0 = time.perf_counter()
+        pts = run_fig9(runner=runner, **SWEEP_FIG9)
+        return time.perf_counter() - t0, pts
+
+    serial = SweepRunner(workers=1)
+    t_serial, pts_serial = timed(serial)
+    n_runs = serial.cache.stats()["misses"]
+
+    pooled = SweepRunner(workers=SWEEP_WORKERS)
+    t_pool, pts_pool = timed(pooled)
+
+    # warm rerun on the serial runner's now-populated cache: every point
+    # is a hit, which is what a config-tweak-and-rerun workflow sees
+    t_warm, pts_warm = timed(SweepRunner(workers=1, cache=serial.cache))
+
+    assert [vars(p) for p in pts_pool] == [vars(p) for p in pts_serial], \
+        "pool run diverged from serial"
+    assert [vars(p) for p in pts_warm] == [vars(p) for p in pts_serial], \
+        "warm run diverged from serial"
+    warm_stats = serial.cache.stats()
+    return {
+        "fig9_workload": {**SWEEP_FIG9, "runs": n_runs},
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(t_serial, 3),
+        "pool_workers": SWEEP_WORKERS,
+        "pool_wall_s": round(t_pool, 3),
+        "pool_speedup": round(t_serial / t_pool, 2),
+        "warm_wall_s": round(t_warm, 4),
+        "warm_speedup": round(t_serial / t_warm, 1),
+        "warm_cache_hits": warm_stats["hits"],
+        "warm_cache_hit_rate": round(warm_stats["hit_rate"], 3),
+    }
+
+
+def bench_sweep_fig11_dedup() -> dict:
+    """Intrinsic cache hits inside one fig11 sweep (shared baselines and
+    zero-failure runs deduplicate against stage-1 baseline points)."""
+    from repro.experiments.fig11 import run_fig11
+    from repro.sweep import SweepRunner
+
+    runner = SweepRunner(workers=1)
+    t0 = time.perf_counter()
+    run_fig11(n=7, steps=16, diag_procs=(2, 4, 8), seeds=(0,),
+              compute_scale=200.0, runner=runner)
+    wall = time.perf_counter() - t0
+    stats = runner.cache.stats()
+    return {
+        "fig11_wall_s": round(wall, 3),
+        "fig11_cache_hits": stats["hits"],
+        "fig11_cache_misses": stats["misses"],
+        "fig11_hit_rate": round(stats["hit_rate"], 3),
+    }
+
+
+def run_experiments_bench(output: str, smoke: bool) -> int:
+    if smoke:
+        global SWEEP_FIG9, SWEEP_WORKERS
+        SWEEP_FIG9 = dict(n=7, steps=4, diag_procs=4, seeds=(0,),
+                          lost_counts=(1,))
+        SWEEP_WORKERS = 2
+    results = {"python": platform.python_version()}
+    results.update(bench_sweep_fig9())
+    if not smoke:
+        results.update(bench_sweep_fig11_dedup())
+    for key in ("serial_wall_s", "pool_wall_s", "pool_speedup",
+                "warm_wall_s", "warm_speedup", "warm_cache_hit_rate"):
+        print(f"{key:>20}: {results[key]}")
+    if smoke:
+        print("sweep smoke ok (numbers above are not representative; "
+              "no JSON written)")
+    else:
+        print(f"{'fig11_hit_rate':>20}: {results['fig11_hit_rate']}")
+        Path(output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("-o", "--output", default="BENCH_substrate.json",
-                    help="output JSON path (default: %(default)s)")
+    ap.add_argument("-o", "--output", default=None,
+                    help="output JSON path (default: BENCH_substrate.json, "
+                         "or BENCH_experiments.json with --experiments)")
     ap.add_argument("--repeats", type=int, default=3,
                     help="runs per workload; best is kept (default 3)")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, one repeat, no JSON write; "
                          "exercises the harness for CI")
+    ap.add_argument("--experiments", action="store_true",
+                    help="benchmark the sweep engine (serial vs pool vs "
+                         "warm cache) instead of the substrate")
     args = ap.parse_args(argv)
+
+    if args.experiments:
+        return run_experiments_bench(
+            args.output or "BENCH_experiments.json", args.smoke)
+    if args.output is None:
+        args.output = "BENCH_substrate.json"
 
     if args.smoke:
         global N_PAIRS, N_ROUNDS, N_COLL_RANKS, N_COLL_ROUNDS

@@ -3,17 +3,42 @@
 and dump the formatted tables.  Slower than the benchmark suite; intended
 to be run once to refresh EXPERIMENTS.md.
 
-Usage: python scripts/run_headline_experiments.py [outfile]
+All sections run through one shared sweep runner, so runs common to
+several experiments (the fig8/table1 failure-free baselines, fig11's
+zero-failure points) are computed once and served from the memoised run
+cache afterwards.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_headline_experiments.py \
+        [-o outfile] [--workers N] [--cache DIR]
 """
 
+import argparse
 import sys
 import time
+from pathlib import Path
 
-from repro.experiments import fig8, fig9, fig10, fig11, table1
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import fig8, fig9, fig10, fig11, table1  # noqa: E402
+from repro.sweep import RunCache, SweepRunner  # noqa: E402
 
 
-def main():
-    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default=None,
+                    help="output file (default: stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS "
+                         "env var, else 1)")
+    ap.add_argument("--cache", metavar="DIR", default=None,
+                    help="persist the run cache to DIR across invocations")
+    args = ap.parse_args(argv)
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    runner = SweepRunner(workers=args.workers,
+                         cache=RunCache(directory=args.cache))
 
     def section(title, fn):
         t0 = time.time()
@@ -24,27 +49,35 @@ def main():
         out.flush()
 
     section("Table I (2 real failures, 19..304 cores)",
-            lambda: table1.format_table1(table1.run_table1(steps=8)))
+            lambda: table1.format_table1(
+                table1.run_table1(steps=8, runner=runner)))
 
     section("Fig. 8 (failure identification / reconstruction, avg 3 seeds)",
-            lambda: fig8.format_fig8(fig8.run_fig8(steps=8,
-                                                   seeds=(0, 1, 2))))
+            lambda: fig8.format_fig8(fig8.run_fig8(steps=8, seeds=(0, 1, 2),
+                                                   runner=runner)))
 
     section("Fig. 9a (recovery overhead, OPL + Raijin, avg 3 seeds)",
             lambda: fig9.format_fig9(fig9.run_fig9(
-                n=8, steps=8, diag_procs=8, seeds=(0, 1, 2))))
+                n=8, steps=8, diag_procs=8, seeds=(0, 1, 2),
+                runner=runner)))
 
     section("Fig. 9b (paper-scale process-time overhead)",
-            lambda: fig9.format_fig9(fig9.run_fig9_paper_scale(seeds=(0,))))
+            lambda: fig9.format_fig9(fig9.run_fig9_paper_scale(
+                seeds=(0,), runner=runner)))
 
     section("Fig. 10 (accuracy, n=9, avg 10 seeds)",
             lambda: fig10.format_fig10(fig10.run_fig10(
                 n=9, steps=128, lost_counts=(0, 1, 2, 3, 4, 5),
-                seeds=tuple(range(10)))))
+                seeds=tuple(range(10)), runner=runner)))
 
     section("Fig. 11 (paper-scale execution time / efficiency)",
-            lambda: fig11.format_fig11(fig11.run_fig11_paper_scale()))
+            lambda: fig11.format_fig11(
+                fig11.run_fig11_paper_scale(runner=runner)))
 
+    stats = runner.cache.stats()
+    print(f"\n[sweep] workers={runner.workers} cache: {stats['hits']} "
+          f"hit(s), {stats['misses']} miss(es) "
+          f"(hit rate {stats['hit_rate']:.2f})", file=out)
     if out is not sys.stdout:
         out.close()
 

@@ -3,7 +3,8 @@
 ::
 
     python -m repro run --technique AC --n 8 --steps 64 --failures 2
-    python -m repro experiment fig10 --quick [--json FILE]
+    python -m repro experiment fig10 --quick [--json FILE] [--workers N]
+                                     [--cache DIR]
     python -m repro describe --technique RC --n 8
     python -m repro lint [paths ...] [--format json] [--select ULF006]
     python -m repro analyze-trace trace.jsonl
@@ -113,42 +114,64 @@ def cmd_run(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    import time
+
     from .experiments import fig8, fig9, fig10, fig11, table1
+    from .sweep import RunCache, SweepRunner
+
+    runner = SweepRunner(workers=args.workers,
+                         cache=RunCache(directory=args.cache))
     name = args.name
+    t0 = time.perf_counter()  # noqa: ULF002 — host-side sweep timing, not simulated time
     if name == "table1":
-        points, fmt = table1.run_table1(steps=8), table1.format_table1
+        points = table1.run_table1(steps=8, runner=runner)
+        fmt = table1.format_table1
     elif name == "fig8":
         seeds = (0,) if args.quick else (0, 1, 2)
-        points, fmt = fig8.run_fig8(steps=8, seeds=seeds), fig8.format_fig8
+        points = fig8.run_fig8(steps=8, seeds=seeds, runner=runner)
+        fmt = fig8.format_fig8
     elif name == "fig9":
         if args.quick:
-            points = fig9.run_fig9(n=7, steps=16, seeds=(0,))
+            points = fig9.run_fig9(n=7, steps=16, seeds=(0,), runner=runner)
         else:
-            points = fig9.run_fig9_paper_scale(seeds=(0,))
+            points = fig9.run_fig9_paper_scale(seeds=(0,), runner=runner)
         fmt = fig9.format_fig9
     elif name == "fig10":
         seeds = tuple(range(3 if args.quick else 10))
         n = 7 if args.quick else 9
         steps = 32 if args.quick else 128
-        points = fig10.run_fig10(n=n, steps=steps, seeds=seeds)
+        points = fig10.run_fig10(n=n, steps=steps, seeds=seeds,
+                                 runner=runner)
         fmt = fig10.format_fig10
     elif name == "fig11":
         if args.quick:
             points = fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
-                                     compute_scale=200.0)
+                                     compute_scale=200.0, runner=runner)
         else:
-            points = fig11.run_fig11_paper_scale()
+            points = fig11.run_fig11_paper_scale(runner=runner)
         fmt = fig11.format_fig11
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
+    wall = time.perf_counter() - t0  # noqa: ULF002 — host-side sweep timing
     if args.json:
         from .experiments.report import write_experiment_json
+        # wall_s and workers vary run to run; cache stats are functions of
+        # the batch alone (strip the former when diffing documents)
+        stats = runner.cache.stats()
         write_experiment_json(args.json, name, points,
-                              params={"quick": bool(args.quick)})
+                              params={"quick": bool(args.quick),
+                                      "workers": runner.workers,
+                                      "wall_s": wall,
+                                      "cache_hits": stats["hits"],
+                                      "cache_misses": stats["misses"]})
         if args.json != "-":
             print(f"wrote {args.json}", file=sys.stderr)
     else:
         print(fmt(points))
+        stats = runner.cache.stats()
+        print(f"[sweep] workers={runner.workers} wall={wall:.2f}s "
+              f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es)",
+              file=sys.stderr)
     return 0
 
 
@@ -311,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", metavar="FILE",
                        help="write the machine-readable experiment document "
                             "with per-phase breakdowns ('-' = stdout)")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="parallel sweep workers (default: REPRO_WORKERS "
+                            "env var, else 1 = serial)")
+    p_exp.add_argument("--cache", metavar="DIR", default=None,
+                       help="persist the memoised run cache to DIR "
+                            "(reruns with the same configs become hits)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_desc = sub.add_parser("describe",

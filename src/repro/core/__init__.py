@@ -2,16 +2,17 @@
 
 from .app import (AC_COEFF_FLOPS, RECOVERY_TAG, AppConfig, CombinationApp,
                   app_main, restrict_periodic)
-from .layout import GridAssignment, Layout
+from .layout import GridAssignment, Layout, layout_for
 from .metrics import RunMetrics
-from .runner import (baseline_solve_time, choose_lost_grids, make_universe,
+from .runner import (baseline_solve_time, choose_lost_grids,
+                     choose_lost_grids_for_scheme, make_universe,
                      plan_failures, run_app)
 
 __all__ = [
     "AppConfig", "CombinationApp", "app_main", "restrict_periodic",
     "RECOVERY_TAG", "AC_COEFF_FLOPS",
-    "Layout", "GridAssignment",
+    "Layout", "GridAssignment", "layout_for",
     "RunMetrics",
     "run_app", "plan_failures", "baseline_solve_time", "choose_lost_grids",
-    "make_universe",
+    "choose_lost_grids_for_scheme", "make_universe",
 ]

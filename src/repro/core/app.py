@@ -40,7 +40,7 @@ from ..pde.norms import l1, l2, linf
 from ..pde.parallel_solver import DistributedAdvectionSolver
 from ..sparsegrid.interpolation import axis_points
 from ..sparsegrid.parallel_combine import combine_on_root, scatter_samples
-from .layout import Layout
+from .layout import Layout, layout_for
 from .metrics import RunMetrics
 
 #: base tag for recovery data motion (offset by destination gid)
@@ -102,12 +102,9 @@ class AppConfig:
         return self.technique().make_scheme(self.n, self.level)
 
     def layout(self) -> Layout:
-        scheme = self.scheme()
-        if self.layout_mode == "paper":
-            return Layout.paper(scheme, self.diag_procs)
-        if self.layout_mode == "sweep":
-            return Layout.sweep(scheme, self.diag_procs)
-        raise ValueError(f"unknown layout mode {self.layout_mode!r}")
+        # scheme() returns shared cached instances, so the identity-keyed
+        # layout cache collapses repeated builds across a sweep
+        return layout_for(self.scheme(), self.layout_mode, self.diag_procs)
 
     @property
     def target(self) -> Tuple[int, int]:

@@ -19,6 +19,7 @@ controller, which must never fail) is the root of grid 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from ..sparsegrid.index import CombinationScheme
@@ -117,3 +118,17 @@ class Layout:
             lines.append(f"  grid {a.gid:2d} {a.role:9s} {a.index} -> ranks "
                          f"{a.ranks[0]}..{a.ranks[-1]} ({a.n_procs})")
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def layout_for(scheme: CombinationScheme, mode: str,
+               diag_procs: int) -> Layout:
+    """Shared layout instances, keyed on scheme *identity* (schemes come
+    from :func:`repro.sparsegrid.index.cached_scheme`, so equal
+    configurations share one object).  Layouts are immutable, and a sweep
+    asks for the same handful of them thousands of times."""
+    if mode == "paper":
+        return Layout.paper(scheme, diag_procs)
+    if mode == "sweep":
+        return Layout.sweep(scheme, diag_procs)
+    raise ValueError(f"unknown layout mode {mode!r}")

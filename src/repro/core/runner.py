@@ -78,18 +78,27 @@ def baseline_solve_time(cfg: AppConfig, machine: MachineSpec = OPL) -> float:
     return metrics.t_solve
 
 
-def choose_lost_grids(cfg: AppConfig, n_lost: int, seed: int = 0) -> Tuple[int, ...]:
+def choose_lost_grids_for_scheme(scheme, technique_code: str, n_lost: int,
+                                 seed: int = 0) -> Tuple[int, ...]:
     """Random set of grids to declare lost in simulated-failure runs,
-    honouring the RC replica-pair constraint."""
+    honouring the RC replica-pair constraint.
+
+    Takes the scheme directly so sweep drivers can derive it once per
+    technique instead of building a probe config per seed."""
     import random
-    scheme = cfg.scheme()
     rng = random.Random(seed)
     eligible = [g.gid for g in scheme.grids]
     conflicts = scheme.rc_conflict_pairs() \
-        if cfg.technique_code.upper() == "RC" else []
+        if technique_code.upper() == "RC" else []
     for _ in range(10_000):
         chosen = sorted(rng.sample(eligible, n_lost))
         bad = any(a in chosen and b in chosen for a, b in conflicts)
         if not bad:
             return tuple(chosen)
     raise RuntimeError("no valid lost-grid set found")
+
+
+def choose_lost_grids(cfg: AppConfig, n_lost: int, seed: int = 0) -> Tuple[int, ...]:
+    """Config-flavoured wrapper around :func:`choose_lost_grids_for_scheme`."""
+    return choose_lost_grids_for_scheme(cfg.scheme(), cfg.technique_code,
+                                        n_lost, seed)

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from ..core import AppConfig, choose_lost_grids, run_app
+from ..core import AppConfig, choose_lost_grids_for_scheme
 from ..machine.presets import IDEAL
+from ..sweep import SweepPoint, make_runner
 from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
@@ -40,7 +41,28 @@ class Fig10Point:
 def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,
               diag_procs: int = 2, lost_counts: Sequence[int] = (0, 1, 2, 3, 4, 5),
               seeds: Sequence[int] = tuple(range(5)), machine=IDEAL,
-              checkpoint_count: int = 4) -> List[Fig10Point]:
+              checkpoint_count: int = 4,
+              workers=None, cache=None, runner=None) -> List[Fig10Point]:
+    sweep = make_runner(runner, workers, cache)
+
+    def _cfg(code, lost):
+        return AppConfig(n=n, level=level, technique_code=code,
+                         steps=steps, diag_procs=diag_procs,
+                         checkpoint_count=checkpoint_count,
+                         simulated_lost_gids=lost)
+
+    tasks: List[SweepPoint] = []
+    for code in TECH_CODES:
+        scheme = _cfg(code, ()).scheme()   # once per technique
+        for n_lost in lost_counts:
+            for seed in seeds:
+                lost = choose_lost_grids_for_scheme(
+                    scheme, code, n_lost, seed=seed) if n_lost else ()
+                tasks.append(SweepPoint(_cfg(code, lost), machine))
+                if n_lost == 0:
+                    break  # deterministic without losses
+    metrics = iter(sweep.run(tasks))
+
     points = []
     for code in TECH_CODES:
         baseline = None
@@ -48,20 +70,11 @@ def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,
             errs = []
             phases: Dict[str, float] = {}
             for seed in seeds:
-                probe = AppConfig(n=n, level=level, technique_code=code,
-                                  steps=steps, diag_procs=diag_procs,
-                                  checkpoint_count=checkpoint_count)
-                lost = choose_lost_grids(probe, n_lost, seed=seed) \
-                    if n_lost else ()
-                cfg = AppConfig(n=n, level=level, technique_code=code,
-                                steps=steps, diag_procs=diag_procs,
-                                checkpoint_count=checkpoint_count,
-                                simulated_lost_gids=lost)
-                m = run_app(cfg, machine)
+                m = next(metrics)
                 errs.append(m.error_l1)
                 merge_phases(phases, m.phase_breakdown)
                 if n_lost == 0:
-                    break  # deterministic without losses
+                    break
             avg = sum(errs) / len(errs)
             if baseline is None:
                 baseline = avg
@@ -85,8 +98,11 @@ def main(argv=None):  # pragma: no cover - CLI
                     help="small fast variant")
     ap.add_argument("--json", metavar="FILE",
                     help="write the experiment document ('-' = stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS or 1)")
     args = ap.parse_args(argv)
-    pts = run_fig10(seeds=tuple(range(3))) if args.quick else run_fig10()
+    pts = run_fig10(seeds=tuple(range(3)), workers=args.workers) \
+        if args.quick else run_fig10(workers=args.workers)
     if args.json:
         from .report import write_experiment_json
         write_experiment_json(args.json, "fig10", pts)

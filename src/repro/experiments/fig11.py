@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
+from ..core import AppConfig, plan_failures
 from ..machine.presets import OPL
+from ..sweep import SweepPoint, make_runner
 from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
@@ -39,29 +40,46 @@ def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
               diag_procs: Sequence[int] = (2, 4, 8, 16),
               failure_counts: Sequence[int] = (0, 1, 2),
               seeds: Sequence[int] = (0,), machine=OPL,
-              checkpoint_count=4, compute_scale: float = 1.0
-              ) -> List[Fig11Point]:
+              checkpoint_count=4, compute_scale: float = 1.0,
+              workers=None, cache=None, runner=None) -> List[Fig11Point]:
+    sweep = make_runner(runner, workers, cache)
+
+    def _cfg(code, p):
+        return AppConfig(n=n, level=level, technique_code=code,
+                         steps=steps, diag_procs=p,
+                         checkpoint_count=checkpoint_count,
+                         compute_scale=compute_scale)
+
+    # stage 1: failure-free baselines, once per (technique, scale) — the
+    # zero-failure runs below hit these cache entries instead of re-running
+    base_points = [SweepPoint(_cfg(code, p), machine)
+                   for code in TECH_CODES for p in diag_procs]
+    t_solves = {(bp.cfg.technique_code, bp.cfg.diag_procs): m.t_solve
+                for bp, m in zip(base_points, sweep.run(base_points))}
+
+    # stage 2: the full (technique, failures, scale, seed) grid
+    tasks: List[SweepPoint] = []
+    for code in TECH_CODES:
+        for nf in failure_counts:
+            for p in diag_procs:
+                for seed in seeds:
+                    cfg = _cfg(code, p)
+                    kills = plan_failures(
+                        cfg, nf, max(t_solves[code, p] * 0.5, 1e-9),
+                        seed=seed) if nf else ()
+                    tasks.append(SweepPoint(cfg, machine,
+                                            kills=tuple(kills)))
+    metrics = iter(sweep.run(tasks))
+
     points: List[Fig11Point] = []
     for code in TECH_CODES:
         for nf in failure_counts:
             series: List[Fig11Point] = []
             for p in diag_procs:
-                base = AppConfig(n=n, level=level, technique_code=code,
-                                 steps=steps, diag_procs=p,
-                                 checkpoint_count=checkpoint_count,
-                                 compute_scale=compute_scale)
-                t_solve = baseline_solve_time(base, machine)
                 totals = []
                 phases: Dict[str, float] = {}
                 for seed in seeds:
-                    cfg = AppConfig(n=n, level=level, technique_code=code,
-                                    steps=steps, diag_procs=p,
-                                    checkpoint_count=checkpoint_count,
-                                    compute_scale=compute_scale)
-                    kills = plan_failures(cfg, nf,
-                                          max(t_solve * 0.5, 1e-9),
-                                          seed=seed) if nf else ()
-                    m = run_app(cfg, machine, kills=kills)
+                    m = next(metrics)
                     totals.append(m.t_total)
                     cores = m.world_size
                     merge_phases(phases, m.phase_breakdown)
@@ -76,7 +94,8 @@ def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
     return points
 
 
-def run_fig11_paper_scale(seeds: Sequence[int] = (0,)) -> List[Fig11Point]:
+def run_fig11_paper_scale(seeds: Sequence[int] = (0,), workers=None,
+                          cache=None, runner=None) -> List[Fig11Point]:
     """Fig. 11 at a compute-dominated problem size.
 
     Parallel efficiency is only meaningful when solve time dominates fixed
@@ -84,7 +103,8 @@ def run_fig11_paper_scale(seeds: Sequence[int] = (0,)) -> List[Fig11Point]:
     regime so AC/RC sit above ~80% efficiency at zero failures, with CR
     dragged down by its per-checkpoint detection + write costs."""
     return run_fig11(n=9, level=4, steps=64, diag_procs=(2, 4, 8, 16),
-                     seeds=seeds, checkpoint_count=4, compute_scale=2400.0)
+                     seeds=seeds, checkpoint_count=4, compute_scale=2400.0,
+                     workers=workers, cache=cache, runner=runner)
 
 
 def format_fig11(points: List[Fig11Point]) -> str:
@@ -103,8 +123,11 @@ def main(argv=None):  # pragma: no cover - CLI
                     help="small fast variant")
     ap.add_argument("--json", metavar="FILE",
                     help="write the experiment document ('-' = stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS or 1)")
     args = ap.parse_args(argv)
-    pts = run_fig11(diag_procs=(2, 4, 8)) if args.quick else run_fig11()
+    pts = run_fig11(diag_procs=(2, 4, 8), workers=args.workers) \
+        if args.quick else run_fig11(workers=args.workers)
     if args.json:
         from .report import write_experiment_json
         write_experiment_json(args.json, "fig11", pts)

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
+from ..core import AppConfig, plan_failures
 from ..machine.presets import OPL
+from ..sweep import SweepPoint, make_runner
 from .report import format_table, merge_phases, scale_phases
 from .table1 import SWEEP_DIAG_PROCS
 
@@ -35,23 +36,40 @@ class Fig8Point:
 def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
              diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
              failure_counts: Sequence[int] = (1, 2),
-             seeds: Sequence[int] = (0,), machine=OPL) -> List[Fig8Point]:
-    points = []
-    for p in diag_procs:
-        base = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
+             seeds: Sequence[int] = (0,), machine=OPL,
+             workers=None, cache=None, runner=None) -> List[Fig8Point]:
+    sweep = make_runner(runner, workers, cache)
+
+    def _cfg(p):
+        return AppConfig(n=n, level=level, technique_code="CR", steps=steps,
                          diag_procs=p, layout_mode="sweep",
                          checkpoint_count=2)
-        t_solve = baseline_solve_time(base, machine)
+
+    # stage 1: failure-free baselines (shared with run_table1 when the two
+    # experiments run on one cache)
+    base_points = [SweepPoint(_cfg(p), machine) for p in diag_procs]
+    t_solves = {bp.cfg.diag_procs: m.t_solve
+                for bp, m in zip(base_points, sweep.run(base_points))}
+
+    # stage 2: the killed runs
+    tasks: List[SweepPoint] = []
+    for p in diag_procs:
+        for nf in failure_counts:
+            for seed in seeds:
+                cfg = _cfg(p)
+                kills = plan_failures(cfg, nf,
+                                      max(t_solves[p] * 0.5, 1e-9),
+                                      seed=seed)
+                tasks.append(SweepPoint(cfg, machine, kills=tuple(kills)))
+    metrics = iter(sweep.run(tasks))
+
+    points = []
+    for p in diag_procs:
         for nf in failure_counts:
             t_list, t_rec, cores = 0.0, 0.0, 0
             phases: Dict[str, float] = {}
             for seed in seeds:
-                cfg = AppConfig(n=n, level=level, technique_code="CR",
-                                steps=steps, diag_procs=p,
-                                layout_mode="sweep", checkpoint_count=2)
-                kills = plan_failures(cfg, nf, max(t_solve * 0.5, 1e-9),
-                                      seed=seed)
-                m = run_app(cfg, machine, kills=kills)
+                m = next(metrics)
                 t_list += m.t_detect
                 t_rec += m.t_reconstruct
                 cores = m.world_size
@@ -78,8 +96,11 @@ def main(argv=None):  # pragma: no cover - CLI
                     help="small fast variant")
     ap.add_argument("--json", metavar="FILE",
                     help="write the experiment document ('-' = stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS or 1)")
     args = ap.parse_args(argv)
-    pts = run_fig8(seeds=(0,)) if args.quick else run_fig8(seeds=(0, 1, 2))
+    pts = run_fig8(seeds=(0,), workers=args.workers) if args.quick \
+        else run_fig8(seeds=(0, 1, 2), workers=args.workers)
     if args.json:
         from .report import write_experiment_json
         write_experiment_json(args.json, "fig8", pts)

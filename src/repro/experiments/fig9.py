@@ -27,8 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from ..core import AppConfig, choose_lost_grids, run_app
+from ..core import AppConfig, choose_lost_grids_for_scheme
 from ..machine.presets import OPL, RAIJIN
+from ..sweep import SweepPoint, make_runner
 from .report import format_table, merge_phases, scale_phases
 
 TECH_CODES = ("CR", "RC", "AC")
@@ -67,7 +68,31 @@ def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,
              diag_procs: int = 8, lost_counts: Sequence[int] = (1, 2, 3, 4, 5),
              seeds: Sequence[int] = (0, 1, 2),
              machines=(OPL, RAIJIN), checkpoint_count=4,
-             compute_scale: float = 1.0) -> List[Fig9Point]:
+             compute_scale: float = 1.0,
+             workers=None, cache=None, runner=None) -> List[Fig9Point]:
+    sweep = make_runner(runner, workers, cache)
+    # lost-grid sets depend only on the scheme (derived once per
+    # technique), not on the machine or per-seed probe configs
+    lost_sets: Dict[Tuple[str, int, int], Tuple[int, ...]] = {}
+    for code in TECH_CODES:
+        scheme = _config(code, n, level, steps, diag_procs, (),
+                         checkpoint_count).scheme()
+        for n_lost in lost_counts:
+            for seed in seeds:
+                lost_sets[code, n_lost, seed] = choose_lost_grids_for_scheme(
+                    scheme, code, n_lost, seed=seed)
+
+    tasks: List[SweepPoint] = []
+    for machine in machines:
+        for code in TECH_CODES:
+            for n_lost in lost_counts:
+                for seed in seeds:
+                    cfg = _config(code, n, level, steps, diag_procs,
+                                  lost_sets[code, n_lost, seed],
+                                  checkpoint_count, compute_scale)
+                    tasks.append(SweepPoint(cfg, machine))
+    metrics = iter(sweep.run(tasks))
+
     points = []
     for machine in machines:
         # the CR process count P_c anchors the normalisation
@@ -78,12 +103,7 @@ def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,
                 oh, pt, world, tapp = 0.0, 0.0, 0, 0.0
                 phases: Dict[str, float] = {}
                 for seed in seeds:
-                    probe = _config(code, n, level, steps, diag_procs, (),
-                                    checkpoint_count)
-                    lost = choose_lost_grids(probe, n_lost, seed=seed)
-                    cfg = _config(code, n, level, steps, diag_procs, lost,
-                                  checkpoint_count, compute_scale)
-                    m = run_app(cfg, machine)
+                    m = next(metrics)
                     rec = recovery_overhead(m)
                     t_app = m.t_app_excl_reconstruct
                     p_x = m.world_size
@@ -113,7 +133,9 @@ def format_fig9(points: List[Fig9Point]) -> str:
               "overhead (b)", floatfmt="12.5f")
 
 
-def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2)) -> List[Fig9Point]:
+def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2),
+                         workers=None, cache=None,
+                         runner=None) -> List[Fig9Point]:
     """Fig. 9 with the paper-scale timing regime.
 
     The paper's Fig. 9b result set — CR worst / AC best on OPL, CR *best*
@@ -124,7 +146,8 @@ def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2)) -> List[Fig9Point]:
     counts are machine-optimal (``checkpoint_count=None``) as a real
     deployment would choose them."""
     return run_fig9(n=9, level=4, steps=256, diag_procs=8, seeds=seeds,
-                    checkpoint_count=None, compute_scale=600.0)
+                    checkpoint_count=None, compute_scale=600.0,
+                    workers=workers, cache=cache, runner=runner)
 
 
 def main(argv=None):  # pragma: no cover - CLI
@@ -134,8 +157,12 @@ def main(argv=None):  # pragma: no cover - CLI
                     help="small fast variant")
     ap.add_argument("--json", metavar="FILE",
                     help="write the experiment document ('-' = stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS or 1)")
     args = ap.parse_args(argv)
-    pts = run_fig9(steps=16, seeds=(0,)) if args.quick else run_fig9()
+    kw = dict(workers=args.workers)
+    pts = run_fig9(steps=16, seeds=(0,), **kw) if args.quick \
+        else run_fig9(**kw)
     if args.json:
         from .report import write_experiment_json
         write_experiment_json(args.json, "fig9", pts)

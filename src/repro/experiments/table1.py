@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from ..core import AppConfig, baseline_solve_time, plan_failures, run_app
+from ..core import AppConfig, plan_failures
 from ..machine.presets import OPL
+from ..sweep import SweepPoint, make_runner
 from .report import format_table
 
 #: the paper's measurements (cores -> spawn, shrink, agree, merge seconds)
@@ -41,18 +42,29 @@ class Table1Row:
 
 def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,
                diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
-               n_failures: int = 2, seed: int = 0,
-               machine=OPL) -> List[Table1Row]:
-    rows = []
+               n_failures: int = 2, seed: int = 0, machine=OPL,
+               workers=None, cache=None, runner=None) -> List[Table1Row]:
+    sweep = make_runner(runner, workers, cache)
+
+    def _cfg(p):
+        return AppConfig(n=n, level=level, technique_code="CR", steps=steps,
+                         diag_procs=p, layout_mode="sweep",
+                         checkpoint_count=2)
+
+    # baselines first (identical to fig8's — a shared cache dedups them),
+    # then the two-failure runs
+    base_points = [SweepPoint(_cfg(p), machine) for p in diag_procs]
+    t_solves = {bp.cfg.diag_procs: m.t_solve
+                for bp, m in zip(base_points, sweep.run(base_points))}
+    tasks = []
     for p in diag_procs:
-        cfg = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
-                        diag_procs=p, layout_mode="sweep", checkpoint_count=2)
-        t_solve = baseline_solve_time(cfg, machine)
-        kills = plan_failures(cfg, n_failures, max(t_solve * 0.5, 1e-9),
-                              seed=seed)
-        cfg = AppConfig(n=n, level=level, technique_code="CR", steps=steps,
-                        diag_procs=p, layout_mode="sweep", checkpoint_count=2)
-        m = run_app(cfg, machine, kills=kills)
+        cfg = _cfg(p)
+        kills = plan_failures(cfg, n_failures,
+                              max(t_solves[p] * 0.5, 1e-9), seed=seed)
+        tasks.append(SweepPoint(cfg, machine, kills=tuple(kills)))
+
+    rows = []
+    for m in sweep.run(tasks):
         rows.append(Table1Row(m.world_size, m.t_spawn, m.t_shrink,
                               m.t_agree, m.t_merge,
                               dict(m.phase_breakdown)))
@@ -84,8 +96,11 @@ def main(argv=None):  # pragma: no cover - CLI
                     help="small fast variant")
     ap.add_argument("--json", metavar="FILE",
                     help="write the experiment document ('-' = stdout)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel sweep workers (default: REPRO_WORKERS or 1)")
     args = ap.parse_args(argv)
-    rows = run_table1(diag_procs=(4, 8)) if args.quick else run_table1()
+    rows = run_table1(diag_procs=(4, 8), workers=args.workers) \
+        if args.quick else run_table1(workers=args.workers)
     if args.json:
         from .report import write_experiment_json
         write_experiment_json(args.json, "table1", rows)

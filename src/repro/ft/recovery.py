@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from ..sparsegrid import (CombinationScheme, alternate_coefficients_for)
+from ..sparsegrid.index import cached_scheme
 
 GridIx = Tuple[int, int]
 
@@ -51,7 +52,7 @@ class CheckpointRestart(RecoveryTechnique):
     needs_checkpoints = True
 
     def make_scheme(self, n: int, level: int) -> CombinationScheme:
-        return CombinationScheme(n, level)
+        return cached_scheme(n, level)
 
     def combination_coefficients(self, scheme, lost_gids):
         # data is recovered exactly, so the classic combination applies
@@ -65,7 +66,7 @@ class ResamplingCopying(RecoveryTechnique):
     name = "Resampling and Copying"
 
     def make_scheme(self, n: int, level: int) -> CombinationScheme:
-        return CombinationScheme(n, level, duplicates=True)
+        return cached_scheme(n, level, duplicates=True)
 
     def combination_coefficients(self, scheme, lost_gids):
         # lost grids are restored (near-exactly), classic coefficients apply
@@ -103,7 +104,7 @@ class AlternateCombination(RecoveryTechnique):
         self.extra_layers = extra_layers
 
     def make_scheme(self, n: int, level: int) -> CombinationScheme:
-        return CombinationScheme(n, level, extra_layers=self.extra_layers)
+        return cached_scheme(n, level, extra_layers=self.extra_layers)
 
     def combination_coefficients(self, scheme, lost_gids):
         lost = set(lost_gids)

@@ -22,6 +22,7 @@ with ``i, j <= n - k``, giving ``l - k`` grids (4/3/2/1 for ``l = 4``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 GridIx = Tuple[int, int]
@@ -179,3 +180,15 @@ class CombinationScheme:
             lines.append(f"  [{g.gid:2d}] {g.role:9s} layer={g.layer} "
                          f"index={g.index} coeff={g.coeff:+.0f}")
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def cached_scheme(n: int, level: int, *, duplicates: bool = False,
+                  extra_layers: int = 0) -> CombinationScheme:
+    """Shared scheme instances — schemes are immutable after construction
+    (``grids`` is a tuple of frozen dataclasses), and every layer of a
+    sweep rebuilds the same handful of shapes, so the recovery techniques
+    construct through this cache.  Sharing instances also lets the layout
+    cache key on scheme identity."""
+    return CombinationScheme(n, level, duplicates=duplicates,
+                             extra_layers=extra_layers)

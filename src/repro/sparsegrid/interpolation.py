@@ -8,6 +8,7 @@ interpolation with exact dyadic weights.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -20,20 +21,31 @@ def axis_points(level: int) -> np.ndarray:
     return np.arange(n + 1) / n
 
 
+@lru_cache(maxsize=None)
 def _axis_resample_weights(from_level: int, to_level: int):
-    """(i0, i1, w) such that target[k] = (1-w)*src[i0] + w*src[i1]."""
+    """(i0, i1, w) such that target[k] = (1-w)*src[i0] + w*src[i1].
+
+    Memoised per level pair — the combine/recovery phases resample the
+    same handful of dyadic level pairs thousands of times per sweep.  The
+    cached arrays are frozen (``writeable=False``): every caller shares
+    them, so a mutation would silently corrupt all later resamples.
+    """
     n_to = (1 << to_level) + 1
     if to_level <= from_level:
         stride = 1 << (from_level - to_level)
         idx = np.arange(n_to) * stride
-        return idx, idx, np.zeros(n_to)
-    # prolongation: position of target node k on the source axis
-    pos = np.arange(n_to) * (2.0 ** (from_level - to_level))
-    i0 = np.floor(pos).astype(np.intp)
-    n_from = 1 << from_level
-    i0 = np.minimum(i0, n_from - 1)
-    w = pos - i0
-    return i0, i0 + 1, w
+        out = (idx, idx, np.zeros(n_to))
+    else:
+        # prolongation: position of target node k on the source axis
+        pos = np.arange(n_to) * (2.0 ** (from_level - to_level))
+        i0 = np.floor(pos).astype(np.intp)
+        n_from = 1 << from_level
+        i0 = np.minimum(i0, n_from - 1)
+        w = pos - i0
+        out = (i0, i0 + 1, w)
+    for arr in out:
+        arr.flags.writeable = False
+    return out
 
 
 def resample(values: np.ndarray, from_ix: GridIx, to_ix: GridIx) -> np.ndarray:

@@ -5,6 +5,11 @@ approach."  Every sub-grid's group root gathers its grid, all roots (and
 idle ranks, contributing nothing) join a collective gather to the global
 root, the root combines with the given coefficients, and — when recovery
 needs it — samples of the combined solution are scattered back.
+
+The root-side combination goes through :func:`.combine.combine_nodal`
+and therefore reuses the cached :class:`.combine.CombinationPlan` for
+its ``(sources, target)`` shape — across a sweep the stacked resampling
+operators are built once per shape, not once per run.
 """
 
 from __future__ import annotations

@@ -1,0 +1,171 @@
+"""Content-addressed memoisation of application runs.
+
+A run is fully deterministic given ``(config, machine, kill plan,
+n_spares)`` — :mod:`repro.core.runner` documents this contract — so its
+:class:`~repro.core.metrics.RunMetrics` can be reused whenever the exact
+same point recurs: the zero-lost baselines that Fig. 10/11 request once
+per failure count, Table I / Fig. 8 sharing their two-failure CR runs,
+or a ``run_fig9_paper_scale`` rerun against a warm on-disk cache.
+
+Keys are a SHA-256 over a *canonical structural fingerprint* of the run
+inputs, not over pickles: pickle bytes are not stable across dict
+ordering or interpreter details, while the fingerprint recurses through
+dataclasses field-by-field, sorts mappings, names functions by module
+and qualname, and spells floats in hex.  Anything that changes the
+simulation — a config field, the machine's cost parameters, the kill
+schedule — changes the key; see ``docs/performance.md`` for the full
+keying rules.
+
+Cached values are stored as pickle blobs (never live objects) for two
+reasons: a cache hit hands back an *owned* deep copy that the caller may
+mutate freely, and the serial (``workers=1``) path exercises exactly the
+same transport contract as the process pool, so "it only breaks under
+``--workers``" bugs cannot exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["RunCache", "cacheable", "fingerprint", "run_key"]
+
+
+def _canonical(obj):
+    """A hashable, repr-stable structure capturing ``obj``'s content."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return ("dc", f"{cls.__module__}.{cls.__qualname__}",
+                tuple((f.name, _canonical(getattr(obj, f.name)))
+                      for f in fields(obj)))
+    if isinstance(obj, dict):
+        return ("map", tuple(sorted(
+            (repr(_canonical(k)), _canonical(v)) for k, v in obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in obj)))
+    if isinstance(obj, float):
+        return ("f", obj.hex())
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return (type(obj).__name__, obj)
+    try:
+        import numpy as np
+        if isinstance(obj, np.ndarray):
+            payload = np.ascontiguousarray(obj).tobytes()
+            return ("nd", str(obj.dtype), obj.shape,
+                    hashlib.sha256(payload).hexdigest())
+        if isinstance(obj, np.generic):
+            return ("np", str(obj.dtype), repr(obj.item()))
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+    if callable(obj):
+        # functions / classes are named, never serialised: the initial
+        # condition callable in AdvectionProblem keys by identity-of-code
+        mod = getattr(obj, "__module__", "?")
+        qual = getattr(obj, "__qualname__", None) or getattr(
+            obj, "__name__", None)
+        if qual is not None:
+            return ("fn", f"{mod}.{qual}")
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!s} for a run-cache key")
+
+
+def fingerprint(obj) -> str:
+    """Stable SHA-256 hex digest of ``obj``'s canonical structure."""
+    return hashlib.sha256(repr(_canonical(obj)).encode()).hexdigest()
+
+
+def run_key(cfg, machine, kills=(), n_spares: int = 0) -> str:
+    """The cache key of one :func:`repro.core.runner.run_app` invocation."""
+    return fingerprint(("run_app", cfg, machine, tuple(kills), n_spares))
+
+
+def cacheable(cfg) -> bool:
+    """Only runs that own their disk are memoisable.
+
+    A caller-supplied :class:`~repro.ft.checkpoint.Disk` carries state
+    (pre-populated checkpoints) the key cannot see, and its mutations are
+    an output the caller may inspect — such runs always execute, in the
+    submitting process.
+    """
+    return cfg.disk is None
+
+
+class RunCache:
+    """Pickle-blob store of run metrics, in memory plus optional disk.
+
+    The in-memory layer is always on; passing ``directory`` adds a
+    write-through on-disk layer (one ``<key>.pkl`` per entry) that
+    survives the process — the ``--cache DIR`` flag of the experiment
+    drivers.  ``hits``/``misses`` count lookups, including points a
+    :class:`~repro.sweep.runner.SweepRunner` deduplicated within a single
+    batch (computed once, served twice is one miss plus one hit).
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self._mem: Dict[str, bytes] = {}
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def _blob(self, key: str) -> Optional[bytes]:
+        blob = self._mem.get(key)
+        if blob is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                blob = path.read_bytes()
+                self._mem[key] = blob
+        return blob
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached metrics for ``key`` (an owned copy), or ``None``."""
+        blob = self._blob(key)
+        if blob is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def load(self, key: str):
+        """Like :meth:`get` but without touching the hit/miss counters
+        (used to fan one executed result out to deduplicated points)."""
+        blob = self._blob(key)
+        return None if blob is None else pickle.loads(blob)
+
+    def put(self, key: str, metrics) -> None:
+        blob = pickle.dumps(metrics)
+        self._mem[key] = blob
+        if self.directory is not None:
+            self._path(key).write_bytes(blob)
+
+    def note_hit(self) -> None:
+        """Count a point served without execution outside :meth:`get`
+        (batch-internal deduplication)."""
+        self.hits += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return self._blob(key) is not None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"entries": len(self._mem), "hits": self.hits,
+                "misses": self.misses, "hit_rate": round(self.hit_rate, 4)}

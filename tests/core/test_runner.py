@@ -56,3 +56,26 @@ def test_baseline_solve_time_positive_on_real_machine():
     cfg = AppConfig(n=6, level=4, technique_code="AC", diag_procs=2, steps=8)
     assert baseline_solve_time(cfg, OPL) > 0
     assert baseline_solve_time(cfg, IDEAL) == 0.0
+
+
+def test_choose_lost_grids_for_scheme_matches_config_wrapper():
+    from repro.core import choose_lost_grids_for_scheme
+    for code in ("CR", "RC", "AC"):
+        cfg = AppConfig(n=7, level=4, technique_code=code, diag_procs=2)
+        scheme = cfg.scheme()
+        for n_lost in (1, 3, 5):
+            for seed in range(5):
+                assert choose_lost_grids(cfg, n_lost, seed=seed) == \
+                    choose_lost_grids_for_scheme(scheme, code, n_lost,
+                                                 seed=seed)
+
+
+def test_cached_scheme_shares_instances():
+    from repro.sparsegrid import cached_scheme
+    a = AppConfig(n=7, level=4, technique_code="RC")
+    b = AppConfig(n=7, level=4, technique_code="RC", steps=99)
+    assert a.scheme() is b.scheme()
+    assert a.scheme() is cached_scheme(7, 4, duplicates=True)
+    # ... and the identity-keyed layout cache collapses with them
+    assert a.layout() is AppConfig(n=7, level=4,
+                                   technique_code="RC").layout()

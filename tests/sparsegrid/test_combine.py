@@ -110,3 +110,73 @@ def test_scatter_samples_delivers_requested_grids():
     assert res[0] is None
     assert res[1] == (5, 5)
     assert res[2] == (9, 5)
+
+
+# ----------------------------------------------------------------------
+# the precomputed combination plan
+# ----------------------------------------------------------------------
+
+def test_plan_bit_identical_to_reference():
+    """The cached plan must reproduce the plan-free loop to the last bit
+    — the sweep engine's determinism guarantee rests on this."""
+    from repro.sparsegrid import combine_nodal_reference
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    for target in ((6, 6), (5, 5), (7, 6)):
+        ref = combine_nodal_reference(parts, coeffs, target)
+        out = combine_nodal(parts, coeffs, target)
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)  # exact, not allclose
+
+
+def test_plan_bit_identical_with_alternate_coefficients():
+    """AC-style coefficient sets (zeros, negatives, reweighted grids)
+    exercise the zero-skip and ordering paths."""
+    from repro.sparsegrid import (CombinationScheme,
+                                  alternate_coefficients_for,
+                                  combine_nodal_reference, nodal_of)
+    scheme = CombinationScheme(6, 4, extra_layers=2)
+    coeffs = alternate_coefficients_for(scheme, {1, 4})
+    parts = {ix: nodal_of(lambda x, y: np.sin(x + 2 * y), ix)
+             for ix in coeffs}
+    ref = combine_nodal_reference(parts, coeffs, (6, 6))
+    out = combine_nodal(parts, coeffs, (6, 6))
+    assert np.array_equal(out, ref)
+
+
+def test_plan_is_cached_and_buffers_not_aliased():
+    from repro.sparsegrid import combination_plan
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    sources = [ix for ix, c in coeffs.items() if c != 0.0]
+    p1 = combination_plan(sources, (6, 6))
+    p2 = combination_plan(list(reversed(sources)), (6, 6))
+    assert p1 is p2  # order-insensitive cache key
+    a = combine_nodal(parts, coeffs, (6, 6))
+    b = combine_nodal(parts, coeffs, (6, 6))
+    assert a is not b  # owned result, not the plan's accumulator
+    assert np.array_equal(a, b)
+
+
+def test_plan_error_parity_with_reference():
+    from repro.sparsegrid import combine_nodal_reference
+    prob, parts, coeffs, _ = classic_parts_and_coeffs()
+    missing = next(iter(parts))
+    bad = dict(parts)
+    del bad[missing]
+    for fn in (combine_nodal, combine_nodal_reference):
+        with pytest.raises(KeyError):
+            fn(bad, coeffs, (6, 6))
+        with pytest.raises(ValueError):
+            fn({}, {(1, 1): 0.0}, (2, 2))
+
+
+def test_plan_handles_coefficient_outside_planned_sources():
+    """combine() with a coefficient set wider than the plan's sources
+    falls back to an on-the-fly operator for the extra index."""
+    from repro.sparsegrid import combination_plan, nodal_of
+    plan = combination_plan([(3, 3)], (4, 4))
+    parts = {ix: nodal_of(lambda x, y: x * y, ix)
+             for ix in ((3, 3), (2, 2))}
+    out = plan.combine(parts, {(3, 3): 1.0, (2, 2): -1.0})
+    from repro.sparsegrid import combine_nodal_reference
+    ref = combine_nodal_reference(parts, {(3, 3): 1.0, (2, 2): -1.0}, (4, 4))
+    assert np.array_equal(out, ref)

@@ -91,3 +91,35 @@ def test_prolongation_interpolates_nodes_exactly(src):
     sx = 1 << (dst[0] - src[0])
     sy = 1 << (dst[1] - src[1])
     assert np.allclose(out[::sx, ::sy], v, atol=1e-13)
+
+
+# ----------------------------------------------------------------------
+# memoised axis weights (shared, frozen arrays)
+# ----------------------------------------------------------------------
+
+def test_axis_weights_are_frozen():
+    from repro.sparsegrid.interpolation import _axis_resample_weights
+    for pair in ((5, 3), (3, 5), (4, 4)):
+        for arr in _axis_resample_weights(*pair):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+
+def test_axis_weights_are_memoised():
+    from repro.sparsegrid.interpolation import _axis_resample_weights
+    a = _axis_resample_weights(6, 4)
+    b = _axis_resample_weights(6, 4)
+    assert all(x is y for x, y in zip(a, b))
+
+
+def test_resample_caller_cannot_corrupt_cache():
+    """The arrays resample builds from the cached weights are fresh; a
+    caller scribbling on its result must not affect later resamples."""
+    rng = np.random.default_rng(0)
+    v = rng.random((17, 17))
+    first = resample(v, (4, 4), (3, 5))
+    expected = first.copy()
+    first[:] = -1.0
+    again = resample(v, (4, 4), (3, 5))
+    assert np.array_equal(again, expected)

@@ -1,0 +1,116 @@
+"""Content-addressed run cache: keying rules and blob-store semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppConfig, RunMetrics
+from repro.ft.checkpoint import Disk
+from repro.ft.failure_injection import Kill
+from repro.machine.presets import IDEAL, OPL, RAIJIN
+from repro.sweep import RunCache, cacheable, fingerprint, run_key
+
+
+def cfg(**kw):
+    kw.setdefault("n", 6)
+    kw.setdefault("level", 4)
+    kw.setdefault("technique_code", "CR")
+    kw.setdefault("steps", 4)
+    kw.setdefault("diag_procs", 2)
+    return AppConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# fingerprint / run_key
+# ----------------------------------------------------------------------
+
+def test_fingerprint_is_stable():
+    assert fingerprint(cfg()) == fingerprint(cfg())
+    assert run_key(cfg(), OPL) == run_key(cfg(), OPL)
+
+
+def test_key_changes_with_any_config_field():
+    base = run_key(cfg(), OPL)
+    assert run_key(cfg(n=7), OPL) != base
+    assert run_key(cfg(steps=8), OPL) != base
+    assert run_key(cfg(technique_code="RC"), OPL) != base
+    assert run_key(cfg(simulated_lost_gids=(1,)), OPL) != base
+    assert run_key(cfg(compute_scale=2.0), OPL) != base
+    assert run_key(cfg(checkpoint_count=None), OPL) != base
+
+
+def test_key_changes_with_machine_kills_and_spares():
+    base = run_key(cfg(), OPL)
+    assert run_key(cfg(), RAIJIN) != base
+    assert run_key(cfg(), IDEAL) != base
+    assert run_key(cfg(), OPL, kills=(Kill(3, 1.0),)) != base
+    assert run_key(cfg(), OPL, kills=(Kill(3, 2.0),)) != base
+    assert run_key(cfg(), OPL, n_spares=1) != base
+
+
+def test_fingerprint_distinguishes_float_bit_patterns():
+    assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
+    assert fingerprint(np.float64(1.0)) == fingerprint(np.float64(1.0))
+
+
+def test_fingerprint_covers_ndarrays():
+    a = np.arange(6.0).reshape(2, 3)
+    assert fingerprint(a) == fingerprint(a.copy())
+    assert fingerprint(a) != fingerprint(a.T)
+    assert fingerprint(a) != fingerprint(a.astype(np.float32))
+
+
+def test_disk_bearing_configs_are_uncacheable():
+    assert cacheable(cfg())
+    assert not cacheable(cfg(disk=Disk()))
+
+
+# ----------------------------------------------------------------------
+# RunCache
+# ----------------------------------------------------------------------
+
+def _metrics(**kw):
+    m = RunMetrics(technique="CR", machine="OPL", n=6, level=4, steps=4,
+                   world_size=9)
+    for k, v in kw.items():
+        setattr(m, k, v)
+    return m
+
+
+def test_cache_round_trip_and_stats():
+    c = RunCache()
+    key = run_key(cfg(), OPL)
+    assert c.get(key) is None
+    c.put(key, _metrics(t_solve=1.5))
+    got = c.get(key)
+    assert got.t_solve == 1.5
+    assert len(c) == 1 and key in c
+    s = c.stats()
+    assert s == {"entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+def test_cache_returns_owned_copies():
+    c = RunCache()
+    c.put("k", _metrics(phase_breakdown={"solve": 1.0}))
+    first = c.get("k")
+    first.phase_breakdown["solve"] = 99.0
+    first.t_solve = -1.0
+    again = c.get("k")
+    assert again.phase_breakdown == {"solve": 1.0}
+    assert again.t_solve != -1.0
+
+
+def test_cache_persists_to_disk(tmp_path):
+    d = str(tmp_path / "cache")
+    c1 = RunCache(directory=d)
+    c1.put("deadbeef", _metrics(t_total=3.0))
+    # a fresh instance over the same directory serves the entry
+    c2 = RunCache(directory=d)
+    got = c2.get("deadbeef")
+    assert got is not None and got.t_total == 3.0
+    assert c2.stats()["hits"] == 1
+
+
+def test_in_memory_cache_does_not_persist():
+    c1 = RunCache()
+    c1.put("k", _metrics())
+    assert RunCache().get("k") is None

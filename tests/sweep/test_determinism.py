@@ -1,0 +1,42 @@
+"""Serial vs pooled sweeps must produce byte-identical documents.
+
+This is the engine's headline guarantee: ``--workers`` changes wall
+clock, never results.  The comparison strips only the wall-clock params
+(``wall_s``, ``workers``) — every point value, including the float
+phase breakdowns, must match to the last bit.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def _doc(tmp_path, name, workers):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    out = tmp_path / f"{name}_w{workers}.json"
+    rc = cli_main(["experiment", name, "--quick",
+                   "--workers", str(workers), "--json", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    for k in ("wall_s", "workers"):
+        doc["params"].pop(k)
+    return doc
+
+
+@pytest.mark.slow
+def test_fig9_quick_workers_1_vs_2_byte_identical(tmp_path):
+    serial = _doc(tmp_path, "fig9", 1)
+    pooled = _doc(tmp_path, "fig9", 2)
+    assert json.dumps(serial, sort_keys=True) == \
+        json.dumps(pooled, sort_keys=True)
+    # the cache statistics are a function of the batch, not of the pool
+    assert serial["params"]["cache_misses"] == \
+        pooled["params"]["cache_misses"]
+
+
+def test_fig9_repeat_invocations_identical(tmp_path):
+    a = _doc(tmp_path / "a", "fig9", 1)
+    b = _doc(tmp_path / "b", "fig9", 1)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

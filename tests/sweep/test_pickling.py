@@ -1,0 +1,59 @@
+"""Pool-transport contract: everything crossing the boundary pickles.
+
+The sweep engine ships :class:`SweepPoint` values to worker processes and
+ships :class:`RunMetrics` back (and stores them as cache blobs), so both
+must survive a pickle round trip with full fidelity — including the
+nested observability dicts.
+"""
+
+import pickle
+
+from repro.core import AppConfig, RunMetrics, run_app
+from repro.ft.failure_injection import Kill
+from repro.machine.presets import IDEAL, OPL
+from repro.sweep import SweepPoint
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def test_appconfig_round_trip():
+    cfg = AppConfig(n=6, level=4, technique_code="RC", steps=4,
+                    diag_procs=2, simulated_lost_gids=(1, 3))
+    back = roundtrip(cfg)
+    assert back == cfg
+    assert back.scheme().grids == cfg.scheme().grids
+
+
+def test_machine_and_kill_round_trip():
+    assert roundtrip(OPL) == OPL
+    assert roundtrip(Kill(rank=3, at=1.5)) == Kill(rank=3, at=1.5)
+
+
+def test_sweep_point_round_trip_preserves_key():
+    p = SweepPoint(AppConfig(n=6, level=4, steps=2, diag_procs=1), OPL,
+                   kills=(Kill(2, 0.5),), n_spares=1)
+    back = roundtrip(p)
+    assert back == p
+    assert back.key() == p.key()
+
+
+def test_run_metrics_round_trip_with_phase_observability():
+    cfg = AppConfig(n=6, level=4, technique_code="AC", steps=2,
+                    diag_procs=1, simulated_lost_gids=(2,))
+    m = run_app(cfg, IDEAL)
+    assert m.phase_breakdown  # the fields under test are populated
+    assert m.phase_by_grid
+    back = roundtrip(m)
+    assert back.to_dict() == m.to_dict()
+    assert back.phase_breakdown == m.phase_breakdown
+    assert back.phase_by_grid == m.phase_by_grid
+    assert back.coefficients == m.coefficients
+
+
+def test_fresh_metrics_round_trip():
+    m = RunMetrics(technique="CR", machine="OPL", n=6, level=4, steps=4,
+                   world_size=9)
+    m.error_l1 = m.error_l2 = m.error_linf = 0.25  # NaN breaks == compares
+    assert roundtrip(m).to_dict() == m.to_dict()

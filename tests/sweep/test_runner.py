@@ -1,0 +1,137 @@
+"""SweepRunner: fan-out, deduplication, serial/pool equivalence."""
+
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.ft.checkpoint import Disk
+from repro.machine.presets import IDEAL, OPL
+from repro.sweep import (RunCache, SweepPoint, SweepRunner, make_runner,
+                         resolve_workers)
+
+
+def cfg(**kw):
+    kw.setdefault("n", 6)
+    kw.setdefault("level", 4)
+    kw.setdefault("technique_code", "AC")
+    kw.setdefault("steps", 2)
+    kw.setdefault("diag_procs", 1)
+    return AppConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# worker resolution
+# ----------------------------------------------------------------------
+
+def test_resolve_workers_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "7")
+    assert resolve_workers(3) == 3
+    assert resolve_workers() == 7
+
+
+def test_resolve_workers_defaults_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers() == 1
+    assert resolve_workers(0) == 1  # clamped
+
+
+def test_resolve_workers_rejects_junk_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "lots")
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        resolve_workers()
+
+
+# ----------------------------------------------------------------------
+# points and keys
+# ----------------------------------------------------------------------
+
+def test_point_key_none_when_disk_supplied():
+    assert SweepPoint(cfg(), OPL).key() is not None
+    assert SweepPoint(cfg(disk=Disk()), OPL).key() is None
+
+
+def test_equal_points_share_a_key():
+    assert SweepPoint(cfg(), OPL).key() == SweepPoint(cfg(), OPL).key()
+    assert SweepPoint(cfg(), OPL).key() != SweepPoint(cfg(), IDEAL).key()
+
+
+# ----------------------------------------------------------------------
+# execution semantics
+# ----------------------------------------------------------------------
+
+def test_duplicates_execute_once():
+    runner = SweepRunner(workers=1)
+    p = SweepPoint(cfg(), IDEAL)
+    results = runner.run([p, p, p])
+    s = runner.cache.stats()
+    assert s["misses"] == 1 and s["hits"] == 2
+    d = [m.to_dict() for m in results]
+    assert d[0] == d[1] == d[2]
+    # duplicates are owned copies, not aliases
+    assert results[0] is not results[1]
+
+
+def test_cross_batch_memoisation():
+    runner = SweepRunner(workers=1)
+    p = SweepPoint(cfg(), IDEAL)
+    first = runner.run_one(p)
+    again = runner.run_one(p)
+    assert runner.cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
+                                    "hit_rate": 0.5}
+    assert first.to_dict() == again.to_dict()
+
+
+def test_results_keep_declaration_order():
+    runner = SweepRunner(workers=1)
+    pts = [SweepPoint(cfg(steps=s), IDEAL) for s in (2, 4, 2, 6)]
+    out = runner.run(pts)
+    assert [m.steps for m in out] == [2, 4, 2, 6]
+
+
+def test_uncacheable_points_run_inline_with_visible_disk():
+    disk = Disk()
+    runner = SweepRunner(workers=1)
+    p = SweepPoint(cfg(technique_code="CR", checkpoint_count=2, disk=disk),
+                   IDEAL)
+    runner.run([p, p])
+    # never cached: both executions really ran
+    assert runner.cache.stats()["hits"] == 0
+    assert runner.cache.stats()["misses"] == 0
+    # ... and the caller's disk saw the checkpoint writes
+    assert disk._store
+
+
+def test_cacheable_point_config_stays_pristine():
+    p = SweepPoint(cfg(technique_code="CR", checkpoint_count=2), IDEAL)
+    SweepRunner(workers=1).run_one(p)
+    assert p.cfg.disk is None  # run_app's scratch disk stayed on a copy
+
+
+def test_pool_matches_serial():
+    pts = [SweepPoint(cfg(steps=s, technique_code=t), IDEAL)
+           for s in (2, 3) for t in ("CR", "AC")]
+    serial = SweepRunner(workers=1).run(pts)
+    pooled = SweepRunner(workers=2).run(pts)
+    assert [m.to_dict() for m in serial] == [m.to_dict() for m in pooled]
+
+
+def test_shared_cache_across_runners():
+    cache = RunCache()
+    p = SweepPoint(cfg(), IDEAL)
+    SweepRunner(workers=1, cache=cache).run_one(p)
+    SweepRunner(workers=1, cache=cache).run_one(p)
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["hits"] == 1
+
+
+def test_make_runner_reuses_existing():
+    r = SweepRunner(workers=1)
+    assert make_runner(r, workers=5, cache=None) is r
+    fresh = make_runner(None, workers=2, cache=None)
+    assert fresh.workers == 2
+
+
+def test_cached_run_matches_direct_run_app():
+    p = SweepPoint(cfg(), IDEAL)
+    via_runner = SweepRunner(workers=1).run_one(p)
+    direct = run_app(cfg(), IDEAL)
+    assert via_runner.to_dict() == direct.to_dict()

@@ -129,7 +129,11 @@ def test_experiment_json_document(tmp_path, capsys):
     doc = json.loads(out_path.read_text())
     validate_experiment_doc(doc)
     assert doc["experiment"] == "fig10"
-    assert doc["params"] == {"quick": True}
+    params = doc["params"]
+    assert params["quick"] is True
+    assert params["workers"] == 1
+    assert params["wall_s"] > 0
+    assert params["cache_misses"] > 0  # every unique point really ran
     assert any(pt["phases"] for pt in doc["points"])
 
 
