@@ -6,10 +6,15 @@ interprocedural summary pass per module; this guard keeps the whole
 analyzer stays cheap enough to run on every commit.
 """
 
+from pathlib import Path
+
 import pytest
 
-from repro.analysis import default_lint_paths, lint_paths
+from repro.analysis import RULES, default_lint_paths, lint_paths
 from repro.analysis.linter import _iter_py_files
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tests" / "analysis" \
+    / "fixtures"
 
 
 @pytest.mark.benchmark(group="analysis")
@@ -27,4 +32,21 @@ def test_full_repo_lint_under_10s(benchmark):
     print(f"\n{n_files} files in {secs:.2f}s ({rate:,.0f} files/s)")
     # hard ceiling from the CI contract; the reference machine does the
     # full tree in well under a second, so 10s is pure headroom
+    assert secs < 10.0
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_all_rules_exercised_at_speed(benchmark):
+    """Lint the seeded-violation corpus: every rule (ULF001–ULF015) must
+    fire, so the benchmark times the worst case where all analyses run
+    to completion rather than bailing out early on clean code."""
+    assert len(RULES) == 15
+
+    violations = benchmark.pedantic(lambda: lint_paths([FIXTURES]),
+                                    rounds=3, iterations=1,
+                                    warmup_rounds=1)
+    fired = {v.rule for v in violations}
+    assert fired >= set(RULES), f"rules never fired: {set(RULES) - fired}"
+    secs = benchmark.stats["mean"]
+    print(f"\nfixture corpus ({len(fired)} rules) in {secs * 1e3:.0f}ms")
     assert secs < 10.0

@@ -3,9 +3,11 @@
 Three analyzers (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.linter` — AST + dataflow lint enforcing
-  ULFM/simulation idioms (rules ULF001-ULF010), exposed as
-  ``python -m repro lint``; the flow-sensitive rules are built on the
-  CFG/fixpoint engine in :mod:`repro.analysis.dataflow`;
+  ULFM/simulation and cache-safety idioms (rules ULF001-ULF015),
+  exposed as ``python -m repro lint`` (``--format sarif`` emits SARIF
+  2.1.0 via :mod:`repro.analysis.sarif`); the flow-sensitive rules are
+  built on the CFG/fixpoint engine in :mod:`repro.analysis.dataflow`,
+  entry points are declared with :mod:`repro.analysis.annotations`;
 * :mod:`repro.analysis.protocol` — replay of a recorded trace against the
   paper's revoke/shrink/spawn/merge/split recovery state machine,
   exposed as ``python -m repro analyze-trace``;
@@ -18,10 +20,12 @@ resources; :mod:`repro.analysis.pytest_plugin` wires the leak and race
 checks into the mpi-layer test suite.
 """
 
+from .annotations import pure
 from .dataflow import CFG, build_cfg, solve
 from .events import ParsedEvent, TruncatedTraceError, parse_events
 from .linter import (LintViolation, RULES, SEVERITY, default_lint_paths,
                      format_report, lint_file, lint_paths)
+from .sarif import to_sarif, validate_sarif
 from .protocol import (ProtocolViolation, RecoveryEpisode, check_protocol,
                        format_violations, recovery_episodes)
 from .races import (MessageRace, build_wait_for_graph, find_message_races,
@@ -30,9 +34,10 @@ from .runtime import LeakReport, check_runtime_leaks
 
 __all__ = [
     "ParsedEvent", "TruncatedTraceError", "parse_events",
-    "CFG", "build_cfg", "solve",
+    "CFG", "build_cfg", "solve", "pure",
     "LintViolation", "RULES", "SEVERITY", "default_lint_paths",
     "format_report", "lint_file", "lint_paths",
+    "to_sarif", "validate_sarif",
     "ProtocolViolation", "RecoveryEpisode", "check_protocol",
     "format_violations", "recovery_episodes",
     "MessageRace", "build_wait_for_graph", "find_message_races",

@@ -1,0 +1,48 @@
+"""Cache-safety annotations honoured by the static analyzer.
+
+Two equivalent ways to declare that a function is a **cacheable entry
+point** — a pure function of its arguments whose results the sweep
+engine's content-addressed :class:`~repro.sweep.cache.RunCache` may
+replay (ULF012, see docs/analysis.md "Cache-safety contracts"):
+
+* the :func:`pure` decorator::
+
+      from repro.analysis import pure
+
+      @pure
+      def run_point(config, machine):
+          ...
+
+* a ``# repro: cacheable`` comment on the ``def`` line — zero runtime
+  footprint, usable where importing the analysis package would be a
+  layering violation (the sweep and experiment layers use this form)::
+
+      def _execute(point):  # repro: cacheable
+          ...
+
+Both mark the function for :mod:`repro.analysis.dataflow.purity`, which
+then proves every module-local effect reachable from it pure — global
+writes, file I/O, unseeded randomness, and wall-clock reads become
+ULF012 errors.  A justified exception is expressed with the ordinary
+``# noqa: ULF012`` suppression on the offending line, never by dropping
+the annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["pure"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def pure(func: _F) -> _F:
+    """Declare ``func`` a cacheable/pure entry point (no-op at runtime).
+
+    The marker is consumed statically by the ULF012 purity pass; at
+    runtime the function is returned unchanged (no wrapper frame, so
+    pickling for pool transport still sees the original function).
+    """
+    func.__repro_pure__ = True
+    return func

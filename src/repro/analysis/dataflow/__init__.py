@@ -1,4 +1,4 @@
-"""Dataflow engine behind the flow-sensitive ULF rules (ULF005-ULF010).
+"""Dataflow engine behind the flow-sensitive ULF rules (ULF005-ULF015).
 
 Layout:
 
@@ -12,6 +12,18 @@ Layout:
   collective matching (ULF006) and tag constancy (ULF009);
 * :mod:`~repro.analysis.dataflow.ckptsync` — interprocedural checkpoint
   synchronisation (ULF005/ULF010);
+* :mod:`~repro.analysis.dataflow.effects` — interprocedural effects/
+  escape summary store shared by the cache-safety rules;
+* :mod:`~repro.analysis.dataflow.frozenstate` — frozen-state typestate
+  for shared cached objects (ULF011);
+* :mod:`~repro.analysis.dataflow.purity` — purity of declared-cacheable
+  call graphs (ULF012);
+* :mod:`~repro.analysis.dataflow.escape` — owned-copy escape analysis
+  (ULF013);
+* :mod:`~repro.analysis.dataflow.nondet` — unordered-iteration
+  nondeterminism (ULF014);
+* :mod:`~repro.analysis.dataflow.pickling` — pool-transport pickling
+  safety (ULF015);
 * :mod:`~repro.analysis.dataflow.driver` — per-module orchestration,
   called by :func:`repro.analysis.linter.lint_file`.
 
@@ -21,8 +33,9 @@ design rationale and the rule catalog.
 
 from .cfg import CFG, Block, build_cfg, walk_shallow
 from .driver import analyze_module, module_int_constants
+from .effects import EffectsStore
 from .engine import Analysis, solve
 
 __all__ = ["CFG", "Block", "build_cfg", "walk_shallow",
-           "Analysis", "solve",
+           "Analysis", "solve", "EffectsStore",
            "analyze_module", "module_int_constants"]

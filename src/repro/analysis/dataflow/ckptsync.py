@@ -43,7 +43,8 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 from .cfg import CFG, build_cfg, walk_shallow
 from .engine import Analysis, solve
 
-__all__ = ["check_checkpoint_sync", "SYNC_CALLS"]
+__all__ = ["check_checkpoint_sync", "FuncInfo", "Resolver",
+           "SYNC_CALLS", "collect_functions"]
 
 #: awaited operations that synchronise the group (any failure surfaces
 #: before the checkpoint write begins)
@@ -100,7 +101,7 @@ def _callee_key(call: ast.Call, info: FuncInfo) -> Optional[Tuple[str, str]]:
     return None
 
 
-class _Resolver:
+class Resolver:
     """Module-local call resolution: maps a call in function ``info`` to
     the qualname of the local function it targets, if any."""
 
@@ -143,7 +144,7 @@ class _SyncState:
 class _MustSync(Analysis):
     direction = "forward"
 
-    def __init__(self, info: FuncInfo, resolver: _Resolver,
+    def __init__(self, info: FuncInfo, resolver: Resolver,
                  summaries: Dict[str, Summary]):
         self.info = info
         self.resolver = resolver
@@ -199,7 +200,7 @@ class _MustSync(Analysis):
         return state
 
 
-def _has_writes(info: FuncInfo, resolver: _Resolver,
+def _has_writes(info: FuncInfo, resolver: Resolver,
                 summaries: Dict[str, Summary], cfg: CFG) -> bool:
     """Would the must-sync pass emit anything for this function?"""
     hits: List[str] = []
@@ -226,7 +227,7 @@ def check_checkpoint_sync(tree: ast.Module, flag: Callable,
     for fi in funcs:
         if fi.qualname not in cfgs:
             cfgs[fi.qualname] = build_cfg(fi.node, fi.qualname)
-    resolver = _Resolver(funcs)
+    resolver = Resolver(funcs)
     summaries = {fi.qualname: Summary() for fi in funcs}
 
     # --- phase 1: `syncs` summaries (monotone: False -> True) ----------

@@ -18,11 +18,17 @@ the existing ``noqa``/report/CLI machinery applies unchanged.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .cfg import CFG, build_cfg
 from .ckptsync import check_checkpoint_sync, collect_functions
 from .collmatch import check_collectives
+from .effects import EffectsStore
+from .escape import check_escape
+from .frozenstate import check_frozen_state
+from .nondet import check_nondeterminism
+from .pickling import check_pool_pickling
+from .purity import check_purity
 from .typestate import check_typestate
 
 __all__ = ["analyze_module", "module_int_constants"]
@@ -45,8 +51,11 @@ def module_int_constants(tree: ast.Module) -> Dict[str, int]:
     return consts
 
 
-def analyze_module(tree: ast.Module, path: str) -> List:
-    """All dataflow-rule violations for one parsed module."""
+def analyze_module(tree: ast.Module, path: str,
+                   source: Optional[str] = None) -> List:
+    """All dataflow-rule violations for one parsed module.  ``source``
+    (when available) lets the purity pass see ``# repro: cacheable``
+    annotation comments."""
     from ..linter import LintViolation, RULES
 
     violations: List[LintViolation] = []
@@ -57,7 +66,8 @@ def analyze_module(tree: ast.Module, path: str) -> List:
             getattr(node, "col_offset", 0) + 1, message))
 
     assert all(r in RULES for r in
-               ("ULF005", "ULF006", "ULF007", "ULF008", "ULF009", "ULF010"))
+               ("ULF005", "ULF006", "ULF007", "ULF008", "ULF009", "ULF010",
+                "ULF011", "ULF012", "ULF013", "ULF014", "ULF015"))
 
     funcs = collect_functions(tree)
     cfgs: Dict[str, CFG] = {}
@@ -67,5 +77,11 @@ def analyze_module(tree: ast.Module, path: str) -> List:
         cfgs[fi.qualname] = cfg
         check_typestate(fi.node, flag, cfg=cfg)
         check_collectives(fi.node, flag, module_consts=consts, cfg=cfg)
+        check_frozen_state(fi.node, flag, cfg=cfg)
+        check_nondeterminism(fi.node, flag, cfg=cfg)
+        check_pool_pickling(fi, flag)
     check_checkpoint_sync(tree, flag, funcs=funcs, cfgs=cfgs)
+    store = EffectsStore.build(tree, funcs)
+    check_purity(tree, flag, store=store, source=source)
+    check_escape(tree, flag, store=store, funcs=funcs, cfgs=cfgs)
     return violations

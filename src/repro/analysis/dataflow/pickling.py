@@ -1,0 +1,157 @@
+"""Pool-transport pickling safety (ULF015).
+
+``SweepRunner`` ships tasks to worker processes by pickling the
+callable and its payload (``multiprocessing``'s contract, see
+``repro.sweep.runner._execute`` — a module-level function for exactly
+this reason).  Three things break that transport, all of them only at
+runtime and some only on the *spawn* start method CI uses:
+
+* **lambdas** — never picklable;
+* **local (nested) functions** — their closure cells cannot be
+  pickled, and even when the body looks pure the reference itself
+  fails to serialise;
+* **payloads holding process-local resources** — locks, open file
+  handles, or a whole :class:`~repro.mpi.universe.Universe`: either
+  unpicklable outright or, worse, silently duplicated per worker so
+  synchronisation never happens.
+
+The rule is syntactic with a shallow binding scan per function: it
+looks at calls to pool transports (``map`` / ``submit`` / ``starmap``
+/ ``imap`` / ``imap_unordered`` / ``apply`` / ``apply_async`` /
+``map_async``) whose receiver is *pool-ish* — its name mentions
+``pool``/``executor``, or it was bound (incl. ``with ... as p``) from
+``Pool``/``ProcessPoolExecutor``/``ThreadPoolExecutor`` — and flags
+lambda arguments, references to functions defined inside the calling
+function, and argument names bound from ``Lock``/``RLock``/``open``/
+``Universe`` constructors.  Generic ``.map()`` on non-pool objects
+(e.g. executors' cousins, pandas) is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Optional, Set
+
+from .cfg import walk_shallow
+from .ckptsync import FuncInfo
+
+__all__ = ["check_pool_pickling", "TRANSPORT_METHODS"]
+
+#: methods that ship callables/payloads to worker processes
+TRANSPORT_METHODS = frozenset({
+    "map", "submit", "starmap", "imap", "imap_unordered",
+    "apply", "apply_async", "map_async", "starmap_async",
+})
+
+#: constructors of pool-like executors
+_POOL_CONSTRUCTORS = frozenset({"Pool", "ProcessPoolExecutor",
+                                "ThreadPoolExecutor"})
+
+#: constructors of process-local resources that must not ride a payload
+_UNPICKLABLE = {
+    "Lock": "a lock is process-local: each worker gets its own copy, "
+            "so it never synchronises anything",
+    "RLock": "a lock is process-local: each worker gets its own copy, "
+             "so it never synchronises anything",
+    "Semaphore": "a semaphore is process-local and cannot coordinate "
+                 "across pool workers",
+    "Condition": "a condition variable is process-local and cannot "
+                 "coordinate across pool workers",
+    "open": "an open file handle cannot be pickled into a worker",
+    "Universe": "a Universe holds the whole simulation event loop; "
+                "ship (config, machine, kills, spares) and rebuild it "
+                "in the worker (as _execute does)",
+}
+
+
+def _name_of(expr: ast.expr) -> Optional[str]:
+    parts = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _ctor_name(expr: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(expr, ast.Call):
+        f = expr.func
+        if isinstance(f, ast.Attribute):
+            return f.attr
+        if isinstance(f, ast.Name):
+            return f.id
+    return None
+
+
+def check_pool_pickling(info: FuncInfo, flag: Callable) -> None:
+    """Flag unpicklable pool-transport payloads in one function.
+    ``flag(rule, node, message)`` receives each violation."""
+    func = info.node
+    local_defs: Set[str] = set()
+    bindings: Dict[str, str] = {}   # name -> constructor that bound it
+    pool_names: Set[str] = set()
+
+    def record(target: ast.expr, value: Optional[ast.expr]) -> None:
+        name = target.id if isinstance(target, ast.Name) else None
+        if name is None:
+            return
+        ctor = _ctor_name(value)
+        if ctor in _POOL_CONSTRUCTORS:
+            pool_names.add(name)
+        elif ctor in _UNPICKLABLE:
+            bindings[name] = ctor
+        else:
+            bindings.pop(name, None)
+            pool_names.discard(name)
+
+    for stmt in func.body:
+        for node in walk_shallow(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_defs.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    record(t, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                record(node.target, node.value)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        record(item.optional_vars, item.context_expr)
+
+    def poolish(recv: ast.expr) -> bool:
+        name = _name_of(recv)
+        if name is None:
+            return False
+        lowered = name.lower()
+        if "pool" in lowered or "executor" in lowered:
+            return True
+        return name in pool_names
+
+    for stmt in func.body:
+        for node in walk_shallow(stmt):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in TRANSPORT_METHODS
+                    and poolish(node.func.value)):
+                continue
+            transport = node.func.attr
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    flag("ULF015", arg,
+                         f"lambda passed to pool '.{transport}()': "
+                         "lambdas cannot be pickled into worker "
+                         "processes; use a module-level function")
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    flag("ULF015", arg,
+                         f"locally-defined function '{arg.id}' passed to "
+                         f"pool '.{transport}()': nested functions close "
+                         "over their frame and cannot be pickled; move "
+                         "it to module level")
+                elif isinstance(arg, ast.Name) and arg.id in bindings:
+                    ctor = bindings[arg.id]
+                    flag("ULF015", arg,
+                         f"'{arg.id}' (from {ctor}(...)) in a pool "
+                         f"'.{transport}()' payload: {_UNPICKLABLE[ctor]}")

@@ -1,10 +1,12 @@
-"""AST + dataflow lint for ULFM/simulation idioms (rules ULF001-ULF010).
+"""AST + dataflow lint for ULFM/simulation idioms (rules ULF001-ULF015).
 
 The simulator's correctness leans on a handful of conventions that plain
 Python happily lets you break: failure exceptions must reach the recovery
 protocol, the event loop must stay deterministic, collectives must not be
-retried from inside the very handler that caught their failure.  This
-linter walks the AST of every target file and flags violations of those
+retried from inside the very handler that caught their failure, and —
+since the sweep engine's content-addressed cache landed — sweep tasks
+must be pure and shared cached objects must stay frozen.  This linter
+walks the AST of every target file and flags violations of those
 conventions; the flow-sensitive rules run on the control-flow graphs and
 fixpoint engine of :mod:`repro.analysis.dataflow`.  See
 ``docs/analysis.md`` for the full catalog with violation/fix examples.
@@ -30,6 +32,18 @@ ULF009    point-to-point tags across the arms of a rank-dependent branch
           can never match (constant propagation)
 ULF010    call chain reaches a checkpoint write without synchronising
           first (interprocedural upgrade of ULF005)
+ULF011    mutation of a shared cached object (frozen-provider result or
+          ``writeable=False`` array): in-place ops, mutator methods,
+          subscript/attribute stores, thawing
+ULF012    impurity (global writes, file I/O, unseeded RNG, wall clock)
+          reachable from a ``# repro: cacheable`` / ``@pure`` entry
+          point whose results the sweep cache replays
+ULF013    shared cached reference escapes into long-lived state, or a
+          view of one is returned, without an owned ``.copy()``
+ULF014    unordered-set iteration / id()-derived keys feeding
+          aggregation: breaks the bit-identical serial/pool guarantee
+ULF015    unpicklable pool-transport payload (lambda, nested function,
+          lock/file/Universe in task arguments)
 ========  ================================================================
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: ULF002`` /
@@ -59,6 +73,11 @@ RULES: Dict[str, str] = {
     "ULF008": "use or double free of a freed communicator",
     "ULF009": "rank-branch point-to-point tags can never match",
     "ULF010": "call chain reaches an unsynchronised checkpoint write",
+    "ULF011": "mutation of a shared cached (frozen) object",
+    "ULF012": "impure effect reachable from a cacheable entry point",
+    "ULF013": "shared cached reference escapes without an owned copy",
+    "ULF014": "unordered iteration / id() keys feed aggregated results",
+    "ULF015": "unpicklable payload handed to a pool transport",
 }
 
 #: CI severity per rule.  ``error`` rules are hard correctness contracts;
@@ -70,6 +89,8 @@ SEVERITY: Dict[str, str] = {
     "ULF003": "error", "ULF004": "error", "ULF005": "error",
     "ULF006": "warning", "ULF007": "error", "ULF008": "error",
     "ULF009": "warning", "ULF010": "error",
+    "ULF011": "error", "ULF012": "error", "ULF013": "warning",
+    "ULF014": "warning", "ULF015": "error",
 }
 
 #: exception names whose handlers count as *failure handlers* (ULF004)
@@ -353,7 +374,7 @@ def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
     (rule ``ULF000``) rather than an exception.
 
     Runs the syntactic visitor (ULF001-ULF004) and the dataflow analyses
-    (ULF005-ULF010), then applies ``noqa`` suppression to the combined
+    (ULF005-ULF015), then applies ``noqa`` suppression to the combined
     result."""
     from .dataflow.driver import analyze_module  # lazy: driver imports us
 
@@ -368,7 +389,7 @@ def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
                               f"syntax error: {exc.msg}")]
     linter = _FileLinter(p, source)
     linter.visit(tree)
-    violations = linter.violations + analyze_module(tree, p)
+    violations = linter.violations + analyze_module(tree, p, source=source)
     lines = source.splitlines()
     violations = [v for v in violations if not _suppressed(v, lines)]
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))

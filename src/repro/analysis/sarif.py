@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 emission for lint results (``lint --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest to turn linter findings into inline
+annotations — GitHub code scanning, VS Code's SARIF viewer, etc.  The
+document shape used here is the minimal conforming subset:
+
+* one ``run`` with a ``tool.driver`` carrying the full ULF rule catalog
+  (id, short description, default severity level), so consumers can
+  render rule metadata even for rules with no findings;
+* one ``result`` per violation with ``ruleId``, ``level``
+  (``error``/``warning``, mapped from the linter's severity),
+  ``message.text``, and a ``physicalLocation`` with an artifact URI and
+  a 1-based start line/column.
+
+:func:`validate_sarif` asserts that shape structurally — it is what the
+schema tests and the CI gate call; keeping the validator next to the
+emitter means the contract cannot drift silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .linter import LintViolation, RULES, SEVERITY
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_entries() -> List[dict]:
+    return [{
+        "id": rule,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {
+            "level": SEVERITY.get(rule, "error"),
+        },
+    } for rule, summary in sorted(RULES.items())]
+
+
+def to_sarif(violations: Iterable[LintViolation],
+             n_files: Optional[int] = None) -> dict:
+    """Render violations as a SARIF 2.1.0 document (a plain dict)."""
+    results = [{
+        "ruleId": v.rule,
+        "level": v.severity,
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": str(v.path)},
+                "region": {"startLine": v.line, "startColumn": v.col},
+            },
+        }],
+    } for v in violations]
+    run = {
+        "tool": {
+            "driver": {
+                "name": _TOOL_NAME,
+                "rules": _rule_entries(),
+            },
+        },
+        "results": results,
+    }
+    if n_files is not None:
+        run["properties"] = {"filesAnalyzed": n_files}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def validate_sarif(doc: dict) -> None:
+    """Structurally validate a SARIF 2.1.0 document; raises
+    ``ValueError`` naming the first offending element."""
+    def need(cond: bool, what: str) -> None:
+        if not cond:
+            raise ValueError(f"invalid SARIF: {what}")
+
+    need(isinstance(doc, dict), "document is not an object")
+    need(doc.get("version") == SARIF_VERSION,
+         f"version must be {SARIF_VERSION!r}")
+    need(isinstance(doc.get("$schema"), str) and
+         "sarif-2.1.0" in doc["$schema"], "$schema must point at 2.1.0")
+    runs = doc.get("runs")
+    need(isinstance(runs, list) and runs, "runs must be a non-empty list")
+    for run in runs:
+        need(isinstance(run, dict), "run is not an object")
+        driver = run.get("tool", {}).get("driver")
+        need(isinstance(driver, dict), "run.tool.driver missing")
+        need(isinstance(driver.get("name"), str) and driver["name"],
+             "tool.driver.name missing")
+        rules = driver.get("rules", [])
+        need(isinstance(rules, list), "tool.driver.rules must be a list")
+        ids = set()
+        for rule in rules:
+            need(isinstance(rule.get("id"), str) and rule["id"],
+                 "rule without id")
+            need(rule["id"] not in ids, f"duplicate rule id {rule['id']}")
+            ids.add(rule["id"])
+            need(isinstance(rule.get("shortDescription", {}).get("text"),
+                            str), f"rule {rule['id']} lacks "
+                 "shortDescription.text")
+        results = run.get("results")
+        need(isinstance(results, list), "run.results must be a list")
+        for res in results:
+            need(isinstance(res.get("ruleId"), str) and res["ruleId"],
+                 "result without ruleId")
+            need(res.get("level") in ("error", "warning", "note", "none"),
+                 f"result {res.get('ruleId')}: bad level "
+                 f"{res.get('level')!r}")
+            need(isinstance(res.get("message", {}).get("text"), str),
+                 f"result {res.get('ruleId')}: message.text missing")
+            for loc in res.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                art = phys.get("artifactLocation", {})
+                need(isinstance(art.get("uri"), str),
+                     "physicalLocation without artifactLocation.uri")
+                region = phys.get("region", {})
+                need(isinstance(region.get("startLine"), int)
+                     and region["startLine"] >= 1,
+                     "region.startLine must be a positive integer")

@@ -14,7 +14,7 @@
 prints the metrics; ``experiment`` regenerates one paper table/figure
 (``--json`` writes the machine-readable document with per-phase timing
 breakdowns); ``describe`` prints the combination scheme and process
-layout; ``lint`` runs the ULF001-ULF010 static + dataflow checks;
+layout; ``lint`` runs the ULF001-ULF015 static + dataflow checks;
 ``analyze-trace`` replays a recorded event trace through the protocol and
 race analyzers; ``timeline`` converts a trace to the Chrome trace_event
 format (load in Perfetto / chrome://tracing).  Record traces with
@@ -219,16 +219,51 @@ def cmd_lint(args) -> int:
             print(f"{rule}  [{SEVERITY.get(rule, 'error'):7s}] {summary}")
         return 0
 
+    import re
+    known = set(RULES) | {"ULF000"}
+    range_re = re.compile(r"^([A-Z]+)(\d+)-(?:([A-Z]+))?(\d+)$")
+
+    def _expand_range(code: str) -> Optional[set]:
+        """``ULF011-ULF015`` (or ``ULF011-015``) -> the known rules in
+        that inclusive numeric span; None when not a range."""
+        m = range_re.match(code)
+        if m is None:
+            return None
+        prefix, lo, prefix2, hi = m.groups()
+        if prefix2 is not None and prefix2 != prefix:
+            return None
+        lo_n, hi_n = int(lo), int(hi)
+        if lo_n > hi_n:
+            return None
+        span = {f"{prefix}{n:0{len(lo)}d}" for n in range(lo_n, hi_n + 1)}
+        endpoints = {f"{prefix}{lo}", f"{prefix}{hi}"}
+        if not endpoints <= known:
+            return None  # reported as unknown by the caller
+        return span & known
+
     def _codes(raw: Optional[List[str]], flag_name: str) -> Optional[set]:
-        """Normalise repeated/comma-separated rule codes; exit 2 on junk."""
+        """Normalise repeated/comma-separated rule codes and ranges
+        (``ULF011-ULF015``); exit 2 on junk."""
         if not raw:
             return None
-        codes = {c.strip().upper() for item in raw
-                 for c in item.split(",") if c.strip()}
-        unknown = sorted(codes - set(RULES) - {"ULF000"})
+        codes: set = set()
+        unknown: set = set()
+        for item in raw:
+            for c in item.split(","):
+                c = c.strip().upper()
+                if not c:
+                    continue
+                span = _expand_range(c)
+                if span is not None:
+                    codes |= span
+                elif c in known:
+                    codes.add(c)
+                else:
+                    unknown.add(c)
         if unknown:
             print(f"error: {flag_name}: unknown rule(s) "
-                  f"{', '.join(unknown)}; see --rules", file=sys.stderr)
+                  f"{', '.join(sorted(unknown))}; see --rules",
+                  file=sys.stderr)
             raise SystemExit(2)
         return codes
 
@@ -262,6 +297,11 @@ def cmd_lint(args) -> int:
                 "warning": sum(v.severity == "warning" for v in violations),
             },
         }, indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import to_sarif, validate_sarif
+        doc = to_sarif(violations, n_files=n_files)
+        validate_sarif(doc)  # the emitter must never ship a bad document
+        print(json.dumps(doc, indent=2))
     else:
         print(format_report(violations, n_files=n_files))
     return 1 if violations else 0
@@ -355,16 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--rules", action="store_true",
                         help="list the rule catalog and exit")
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json"],
-                        help="report format (json is machine-readable, "
-                             "for CI)")
+                        choices=["text", "json", "sarif"],
+                        help="report format (json is machine-readable; "
+                             "sarif emits SARIF 2.1.0 for CI code "
+                             "scanning)")
     p_lint.add_argument("--select", action="append", metavar="RULE",
                         help="only report these rules (repeatable, "
-                             "comma-separable); syntax errors always "
+                             "comma-separable, ranges like "
+                             "ULF011-ULF015); syntax errors always "
                              "surface")
     p_lint.add_argument("--ignore", action="append", metavar="RULE",
                         help="drop these rules from the report "
-                             "(repeatable, comma-separable)")
+                             "(repeatable, comma-separable, ranges "
+                             "like ULF011-ULF015)")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_an = sub.add_parser("analyze-trace",

@@ -38,7 +38,7 @@ class Fig10Point:
         return self.error_l1 / self.baseline_l1 if self.baseline_l1 else 0.0
 
 
-def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,
+def run_fig10(*, n: int = 7, level: int = 4, steps: int = 32,  # repro: cacheable
               diag_procs: int = 2, lost_counts: Sequence[int] = (0, 1, 2, 3, 4, 5),
               seeds: Sequence[int] = tuple(range(5)), machine=IDEAL,
               checkpoint_count: int = 4,

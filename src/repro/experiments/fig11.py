@@ -36,7 +36,7 @@ class Fig11Point:
     phases: Dict[str, float] = field(default_factory=dict)
 
 
-def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
+def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,  # repro: cacheable
               diag_procs: Sequence[int] = (2, 4, 8, 16),
               failure_counts: Sequence[int] = (0, 1, 2),
               seeds: Sequence[int] = (0,), machine=OPL,
@@ -94,7 +94,7 @@ def run_fig11(*, n: int = 7, level: int = 4, steps: int = 16,
     return points
 
 
-def run_fig11_paper_scale(seeds: Sequence[int] = (0,), workers=None,
+def run_fig11_paper_scale(seeds: Sequence[int] = (0,), workers=None,  # repro: cacheable
                           cache=None, runner=None) -> List[Fig11Point]:
     """Fig. 11 at a compute-dominated problem size.
 

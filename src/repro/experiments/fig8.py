@@ -33,7 +33,7 @@ class Fig8Point:
     phases: Dict[str, float] = field(default_factory=dict)
 
 
-def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,
+def run_fig8(*, n: int = 7, level: int = 4, steps: int = 8,  # repro: cacheable
              diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
              failure_counts: Sequence[int] = (1, 2),
              seeds: Sequence[int] = (0,), machine=OPL,

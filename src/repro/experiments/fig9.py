@@ -64,7 +64,7 @@ def recovery_overhead(m) -> float:
     return m.t_recovery
 
 
-def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,
+def run_fig9(*, n: int = 7, level: int = 4, steps: int = 16,  # repro: cacheable
              diag_procs: int = 8, lost_counts: Sequence[int] = (1, 2, 3, 4, 5),
              seeds: Sequence[int] = (0, 1, 2),
              machines=(OPL, RAIJIN), checkpoint_count=4,
@@ -133,7 +133,7 @@ def format_fig9(points: List[Fig9Point]) -> str:
               "overhead (b)", floatfmt="12.5f")
 
 
-def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2),
+def run_fig9_paper_scale(seeds: Sequence[int] = (0, 1, 2),  # repro: cacheable
                          workers=None, cache=None,
                          runner=None) -> List[Fig9Point]:
     """Fig. 9 with the paper-scale timing regime.

@@ -40,7 +40,7 @@ class Table1Row:
     phases: Dict[str, float] = field(default_factory=dict)
 
 
-def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,
+def run_table1(*, n: int = 7, level: int = 4, steps: int = 8,  # repro: cacheable
                diag_procs: Sequence[int] = SWEEP_DIAG_PROCS,
                n_failures: int = 2, seed: int = 0, machine=OPL,
                workers=None, cache=None, runner=None) -> List[Table1Row]:

@@ -73,9 +73,11 @@ class SweepPoint:
         return run_key(self.cfg, self.machine, self.kills, self.n_spares)
 
 
-def _execute(point: SweepPoint):
+def _execute(point: SweepPoint):  # repro: cacheable
     """Run one point (also the pool's worker entry — module level so it
-    pickles by reference)."""
+    pickles by reference).  Declared cacheable: the run cache replays
+    its result by content key, so it must stay a pure function of the
+    point (enforced statically by ULF012)."""
     cfg = point.cfg
     if cfg.disk is None:
         # run_app attaches a scratch Disk to CR configs; run on a copy so

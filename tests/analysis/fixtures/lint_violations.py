@@ -5,6 +5,9 @@ Used by the lint acceptance tests — do not "fix" it.
 
 import random
 import time
+from multiprocessing import Pool
+
+_runs = 0
 
 
 async def swallow_failures(comm):
@@ -66,3 +69,31 @@ async def _write_helper(ctx, disk, solver):
 async def delegated_torn_checkpoint(ctx, disk, solver):
     # ULF010: the helper writes a checkpoint; no sync precedes this call
     await _write_helper(ctx, disk, solver)
+
+
+def mutate_shared_scheme(n):
+    scheme = cached_scheme(n, 4)
+    scheme.grids.append(None)      # ULF011: mutates a cached object
+
+
+def cached_run(cfg):  # repro: cacheable
+    global _runs                   # ULF012: global write in cacheable entry
+    _runs = _runs + 1
+    return cfg
+
+
+class SchemeHolder:
+    def adopt(self, n):
+        self.plan = combination_plan(n, 4)  # ULF013: shared ref escapes
+
+
+def unordered_total(xs):
+    total = 0.0
+    for x in set(xs):              # ULF014: set order feeds the sum
+        total += x
+    return total
+
+
+def run_in_pool(points):
+    with Pool() as pool:
+        return pool.map(lambda p: p * 2, points)  # ULF015: lambda payload

@@ -1,0 +1,70 @@
+"""Seeded violations for ULF013 (shared cached references escaping).
+
+The object caches hand out *the* shared instance; storing one into
+long-lived state or returning an unowned view breaks the owned-copy
+contract (docs/performance.md).  Only lines tagged ``BAD`` may trip
+ULF013; the corrected variants below each violation stay clean, as do
+the legitimate provider pass-throughs.
+"""
+
+from repro.sparsegrid.combine import combination_plan
+from repro.sparsegrid.index import cached_scheme
+from repro.sparsegrid.interpolation import _axis_resample_weights
+
+_SCHEMES = {}
+
+
+# --- shared instance stored into instance state ------------------------
+class PlanHolder:
+    def __init__(self, cfg, target):
+        self.plan = combination_plan(cfg, target)  # BAD
+        self.rows = []
+
+    def collect(self, src, dst):
+        _, _, w = _axis_resample_weights(src, dst)
+        self.rows.append(w)  # BAD
+
+
+class OwnedPlanHolder:
+    def __init__(self, cfg, target):
+        self.plan_key = (cfg, target)  # store the key, not the instance
+        self.rows = []
+
+    def collect(self, src, dst):
+        _, _, w = _axis_resample_weights(src, dst)
+        self.rows.append(w.copy())  # owned copy: fine
+
+
+# --- shared instance stored into a module-level container --------------
+def memo_scheme(n, level):
+    scheme = cached_scheme(n, level)
+    _SCHEMES[(n, level)] = scheme  # BAD
+    return scheme
+
+
+def lookup_scheme(n, level):
+    # the provider *is* the memo — no second cache layer needed
+    return cached_scheme(n, level)
+
+
+# --- returning an unowned view -----------------------------------------
+def first_row(src, dst):
+    _, _, w = _axis_resample_weights(src, dst)
+    return w[0]  # BAD
+
+
+def first_row_owned(src, dst):
+    _, _, w = _axis_resample_weights(src, dst)
+    return w[0].copy()
+
+
+# --- provider pass-through is a provider, not an escape ----------------
+def scheme_for(cfg):
+    return cached_scheme(cfg.n, cfg.level)
+
+
+def caller_of_provider(cfg, out):
+    # out is a caller-owned local argument, not long-lived state
+    scheme = scheme_for(cfg)
+    local = [scheme]
+    return len(local)

@@ -1,0 +1,84 @@
+"""Seeded violations for ULF014 (unordered iteration feeding results).
+
+The sweep engine promises bit-identical serial and pooled results; set
+iteration order and ``id()`` values vary between processes.  Only lines
+tagged ``BAD`` may trip ULF014 — the ``sorted(...)`` twins show the
+fix genuinely clearing the flow-sensitive taint.
+"""
+
+import math
+
+
+# --- set iteration feeding a float accumulator -------------------------
+def total_unordered(xs):
+    pending = set(xs)
+    total = 0.0
+    for x in pending:  # BAD
+        total += x
+    return total
+
+
+def total_sorted(xs):
+    pending = set(xs)
+    total = 0.0
+    for x in sorted(pending):  # order pinned: fine
+        total += x
+    return total
+
+
+def total_rebound(xs):
+    pending = set(xs)
+    pending = sorted(pending)  # rebinding clears the set taint
+    total = 0.0
+    for x in pending:
+        total += x
+    return total
+
+
+# --- set iteration without accumulation is order-free ------------------
+def index_members(xs):
+    members = set(xs)
+    table = {}
+    for x in members:  # dict store keyed by x: order-independent
+        table[x] = x * 2
+    return table
+
+
+# --- sum / fsum over a set ---------------------------------------------
+def quick_sum(xs):
+    return sum(set(xs))  # BAD
+
+
+def union_sum(xs, ys):
+    combined = set(xs) | set(ys)
+    return math.fsum(combined)  # BAD
+
+
+def stable_sum(xs):
+    return sum(sorted(set(xs)))
+
+
+# --- id()-derived keys --------------------------------------------------
+def weights_by_id(grids, w):
+    weights = {}
+    for g in grids:
+        weights[id(g)] = w  # BAD
+    return weights
+
+
+def table_by_id(grids, w):
+    return {id(g): w for g in grids}  # BAD
+
+
+def weights_by_index(grids, w):
+    return {i: w for i, g in enumerate(grids)}
+
+
+def dedup_by_identity(grids):
+    seen = set()
+    fresh = []
+    for g in grids:
+        if id(g) not in seen:
+            seen.add(id(g))  # membership dedup: order-free, fine
+            fresh.append(g)
+    return fresh

@@ -1,0 +1,64 @@
+"""Seeded violations for ULF015 (unpicklable pool-transport payloads).
+
+Pool transports pickle the callable and every payload argument into
+worker processes; lambdas, nested functions, and process-local
+resources (locks, file handles, a whole Universe) fail there — some
+only at runtime under the spawn start method.  Only lines tagged
+``BAD`` may trip ULF015.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool
+
+from repro.mpi.universe import Universe
+from repro.sweep.runner import _execute
+
+
+# --- lambdas and nested functions cannot be pickled --------------------
+def run_doubled(points):
+    with Pool() as pool:
+        return pool.map(lambda p: p * 2, points)  # BAD
+
+
+def run_nested(points):
+    def prepare(p):
+        return p * 2
+
+    with Pool() as pool:
+        return pool.map(prepare, points)  # BAD
+
+
+def run_module_level(points):
+    with Pool() as pool:
+        return pool.map(_execute, points)  # module-level: pickles fine
+
+
+# --- process-local resources in the payload ----------------------------
+def run_locked(task, points):
+    lock = threading.Lock()
+    with ProcessPoolExecutor() as executor:
+        return [executor.submit(task, p, lock) for p in points]  # BAD
+
+
+def run_universe(step, machine):
+    uni = Universe(machine)
+    with ProcessPoolExecutor() as executor:
+        return executor.submit(step, uni)  # BAD
+
+
+def run_logged(task, points, path):
+    fh = open(path, "w")
+    with Pool() as pool:
+        return pool.apply_async(task, fh)  # BAD
+
+
+def run_with_keys(task, points):
+    # ship plain data; workers rebuild their own resources
+    with ProcessPoolExecutor() as executor:
+        return [executor.submit(task, p) for p in points]
+
+
+# --- .map on a non-pool object is out of scope -------------------------
+def rename_series(series):
+    return series.map(str)

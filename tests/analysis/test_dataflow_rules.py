@@ -21,6 +21,11 @@ RULE_FIXTURES = {
     "ULF008": FIXTURES / "ulf008_double_free.py",
     "ULF009": FIXTURES / "ulf009_tag_mismatch.py",
     "ULF010": FIXTURES / "ulf010_interprocedural_ckpt.py",
+    "ULF011": FIXTURES / "ulf011_frozen_state.py",
+    "ULF012": FIXTURES / "ulf012_purity.py",
+    "ULF013": FIXTURES / "ulf013_escape.py",
+    "ULF014": FIXTURES / "ulf014_nondeterminism.py",
+    "ULF015": FIXTURES / "ulf015_pool_pickling.py",
 }
 
 

@@ -1,0 +1,175 @@
+"""Golden tests for the interprocedural effects/escape summary store
+(repro.analysis.dataflow.effects), the substrate under ULF012/ULF013."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow.effects import EffectsStore
+
+
+def store_for(source):
+    return EffectsStore.build(ast.parse(textwrap.dedent(source)))
+
+
+def describe(source):
+    return store_for(source).describe().splitlines()
+
+
+# ---------------------------------------------------------------------------
+# direct effects
+# ---------------------------------------------------------------------------
+def test_pure_function_is_pure():
+    (line,) = describe("""
+    def f(x):
+        return x * 2
+    """)
+    assert line == "f: pure"
+
+
+def test_global_write_needs_decl_and_write():
+    lines = describe("""
+    COUNT = 0
+
+    def bump():
+        global COUNT
+        COUNT = COUNT + 1
+
+    def reads():
+        global COUNT
+        return COUNT
+    """)
+    assert lines[0] == "bump: global_write@5"
+    assert lines[1] == "reads: pure"  # declared but never written
+
+
+def test_io_open_and_path_methods():
+    lines = describe("""
+    def writes(p, data):
+        with open(p, "w") as fh:
+            fh.write(data)
+
+    def touches(p):
+        p.write_text("x")
+    """)
+    assert lines[0].startswith("writes: io@")
+    assert lines[1].startswith("touches: io@")
+
+
+def test_rng_and_clock_via_imports():
+    lines = describe("""
+    import random
+    import time
+
+    def roll():
+        return random.random()
+
+    def stamp():
+        return time.time()
+
+    def seeded():
+        return random.Random(42).random()
+    """)
+    assert lines[0].startswith("roll: rng@")
+    assert lines[1].startswith("stamp: clock@")
+    assert lines[2] == "seeded: pure"
+
+
+def test_os_and_shutil_are_io():
+    lines = describe("""
+    import os
+    import shutil
+
+    def rm(p):
+        os.remove(p)
+
+    def cp(a, b):
+        shutil.copyfile(a, b)
+    """)
+    assert lines[0].startswith("rm: io@")
+    assert lines[1].startswith("cp: io@")
+
+
+# ---------------------------------------------------------------------------
+# transitive closure over the local call graph
+# ---------------------------------------------------------------------------
+def test_effects_propagate_with_call_chain():
+    lines = describe("""
+    def leaf(p):
+        open(p)
+
+    def mid(p):
+        leaf(p)
+
+    def top(p):
+        mid(p)
+    """)
+    assert lines[0] == "leaf: io@3"
+    assert lines[1] == "mid: io@6[via leaf]"
+    assert lines[2] == "top: io@9[via mid->leaf]"
+
+
+def test_method_calls_resolve_through_self():
+    lines = describe("""
+    class Runner:
+        def _log(self, p):
+            open(p)
+
+        def run(self, p):
+            self._log(p)
+    """)
+    assert lines[0].startswith("Runner._log: io@")
+    assert "[via Runner._log]" in lines[1]
+
+
+def test_opaque_calls_assumed_pure():
+    (line,) = describe("""
+    def f(obj):
+        obj.do_something_unknown()
+        return helper_from_elsewhere(obj)
+    """)
+    assert line == "f: pure"
+
+
+# ---------------------------------------------------------------------------
+# shared_return tracking
+# ---------------------------------------------------------------------------
+def test_provider_return_is_shared():
+    lines = describe("""
+    def provider(n):
+        return cached_scheme(n, 4)
+
+    def passthrough(n):
+        return provider(n)
+
+    def bound_passthrough(n):
+        s = provider(n)
+        return s
+
+    def copier(n):
+        s = provider(n)
+        return s.copy()
+    """)
+    assert lines[0].startswith("provider: shared_return@")
+    assert lines[1].startswith("passthrough: shared_return@")
+    assert lines[2].startswith("bound_passthrough: shared_return@")
+    assert lines[3] == "copier: pure"  # .copy() result is owned
+
+
+def test_lru_cache_decorated_is_shared():
+    store = store_for("""
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def memo(n):
+        return [n] * n
+    """)
+    assert store.summary("memo").has("shared_return")
+    assert store.shared_locals() == {"memo"}
+
+
+def test_shared_return_is_not_impure():
+    store = store_for("""
+    def provider(n):
+        return cached_scheme(n, 4)
+    """)
+    assert store.summary("provider").pure

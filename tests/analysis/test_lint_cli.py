@@ -83,6 +83,76 @@ def test_ignore_drops_rules(capsys):
     assert report["violations"] == []
 
 
+def test_select_accepts_rule_ranges(capsys):
+    assert cli_main(["lint", "--format", "json",
+                     "--select", "ULF011-ULF015", str(FIXTURE)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert {v["rule"] for v in report["violations"]} == \
+        {"ULF011", "ULF012", "ULF013", "ULF014", "ULF015"}
+
+
+def test_select_accepts_short_range_form(capsys):
+    assert cli_main(["lint", "--format", "json",
+                     "--select", "ULF011-015", str(FIXTURE)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert {v["rule"] for v in report["violations"]} == \
+        {"ULF011", "ULF012", "ULF013", "ULF014", "ULF015"}
+
+
+def test_ranges_compose_with_plain_codes(capsys):
+    assert cli_main(["lint", "--format", "json",
+                     "--select", "ULF001,ULF011-ULF012", str(FIXTURE)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert {v["rule"] for v in report["violations"]} == \
+        {"ULF001", "ULF011", "ULF012"}
+
+
+def test_ignore_accepts_ranges(capsys):
+    assert cli_main(["lint", "--format", "json",
+                     "--ignore", "ULF001-ULF015", str(FIXTURE)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["violations"] == []
+
+
+def test_exit_2_on_unknown_range_endpoint(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli_main(["lint", "--select", "ULF001-ULF999", str(FIXTURE)])
+    assert exc.value.code == 2
+    assert "ULF001-ULF999" in capsys.readouterr().err
+
+
+def test_exit_2_on_reversed_range(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli_main(["lint", "--select", "ULF015-ULF011", str(FIXTURE)])
+    assert exc.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# exit-code contract for the cache-safety severities
+# ---------------------------------------------------------------------------
+def test_warning_severity_still_exits_1(capsys):
+    # ULF013/ULF014 are warnings, but any finding means a dirty tree
+    assert SEVERITY["ULF014"] == "warning"
+    fixture = FIXTURE.parent / "ulf014_nondeterminism.py"
+    assert cli_main(["lint", "--format", "json", "--select", "ULF014",
+                     str(fixture)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"]["error"] == 0
+    assert report["counts"]["warning"] == report["counts"]["total"] > 0
+    assert all(v["severity"] == "warning" for v in report["violations"])
+
+
+def test_error_severity_counted_for_new_rules(capsys):
+    assert SEVERITY["ULF011"] == SEVERITY["ULF012"] == SEVERITY["ULF015"] \
+        == "error"
+    fixture = FIXTURE.parent / "ulf011_frozen_state.py"
+    assert cli_main(["lint", "--format", "json", "--select", "ULF011",
+                     str(fixture)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"]["warning"] == 0
+    assert report["counts"]["error"] == report["counts"]["total"] > 0
+
+
 def test_select_exit_0_when_selected_rule_is_absent(capsys):
     src_only_ulf002 = ("import time\n"
                        "t = time.time()\n")

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 emission and validation (repro.analysis.sarif)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, SEVERITY, lint_file, to_sarif, validate_sarif
+from repro.analysis.linter import LintViolation
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+from repro.cli import main as cli_main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
+
+
+def sample_violations():
+    return [
+        LintViolation("ULF011", "src/x.py", 10, 3, "mutation of shared"),
+        LintViolation("ULF014", "src/y.py", 2, 1, "set-order sum"),
+    ]
+
+
+def test_to_sarif_shape():
+    doc = to_sarif(sample_violations(), n_files=2)
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"] == SARIF_SCHEMA
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    # the driver carries the complete rule catalog with severities
+    assert [r["id"] for r in driver["rules"]] == sorted(RULES)
+    by_id = {r["id"]: r for r in driver["rules"]}
+    assert by_id["ULF011"]["defaultConfiguration"]["level"] == "error"
+    assert by_id["ULF014"]["defaultConfiguration"]["level"] == "warning"
+    r11, r14 = run["results"]
+    assert r11["ruleId"] == "ULF011" and r11["level"] == "error"
+    assert r14["ruleId"] == "ULF014" and r14["level"] == "warning"
+    loc = r11["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/x.py"
+    assert loc["region"] == {"startLine": 10, "startColumn": 3}
+    assert run["properties"]["filesAnalyzed"] == 2
+
+
+def test_emitted_documents_validate():
+    validate_sarif(to_sarif([]))
+    validate_sarif(to_sarif(sample_violations(), n_files=9))
+    validate_sarif(to_sarif(lint_file(FIXTURE)))
+
+
+@pytest.mark.parametrize("mutate, error", [
+    (lambda d: d.update(version="2.0.0"), "version"),
+    (lambda d: d.update(runs=[]), "runs"),
+    (lambda d: d["runs"][0]["tool"].pop("driver"), "driver"),
+    (lambda d: d["runs"][0]["results"][0].pop("ruleId"), "ruleId"),
+    (lambda d: d["runs"][0]["results"][0].update(level="fatal"), "level"),
+    (lambda d: d["runs"][0]["results"][0]["locations"][0]
+        ["physicalLocation"]["region"].update(startLine=0), "startLine"),
+    (lambda d: d["runs"][0]["tool"]["driver"]["rules"].append(
+        {"id": "ULF001"}), "duplicate"),
+])
+def test_validator_rejects_malformed(mutate, error):
+    doc = to_sarif(sample_violations())
+    mutate(doc)
+    with pytest.raises(ValueError, match=error):
+        validate_sarif(doc)
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+def test_cli_sarif_output_on_violations(capsys):
+    assert cli_main(["lint", "--format", "sarif", str(FIXTURE)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    validate_sarif(doc)
+    rules_seen = {r["ruleId"] for r in doc["runs"][0]["results"]}
+    assert "ULF001" in rules_seen
+
+
+def test_cli_sarif_output_clean(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x\n")
+    assert cli_main(["lint", "--format", "sarif", str(clean)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    validate_sarif(doc)
+    assert doc["runs"][0]["results"] == []
+    # rule catalog ships even when there are no findings
+    assert len(doc["runs"][0]["tool"]["driver"]["rules"]) == len(RULES)
+
+
+def test_severity_catalogued_for_all_rules():
+    for rule in RULES:
+        assert SEVERITY[rule] in ("error", "warning")
