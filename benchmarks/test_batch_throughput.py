@@ -1,0 +1,76 @@
+"""Batch-substrate scaling guard: the vectorised collective rounds must
+stay decisively faster than the per-rank event path at fig scale.
+
+Not a paper figure — the regression guard for the batch fast path.  The
+event path's rendezvous does an O(members) scan per arrival (quadratic
+per round), which is exactly the cost the batch engine removes; if the
+fast path silently stops engaging (a gate regression, a fallback that
+sticks), the ratio collapses and this test catches it.
+"""
+
+import time
+
+import pytest
+
+from repro.machine.presets import IDEAL
+from repro.mpi import Universe
+
+N_RANKS = 1024
+N_ROUNDS = 24    # enough rounds that per-round cost dominates task spawn
+
+
+def allreduce_run(batch: bool):
+    async def main(ctx):
+        comm = ctx.comm
+        total = 0.0
+        for _ in range(N_ROUNDS):
+            total = await comm.allreduce(1.0)
+        return total
+
+    uni = Universe(IDEAL, batch=batch)
+    job = uni.launch(N_RANKS, main)
+    uni.run()
+    return uni, job
+
+
+def _best_of(fn, repeats=2):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_batch_allreduce_speedup_at_scale(benchmark):
+    # both paths timed identically (best of 2) so the ratio is fair; the
+    # harness's pedantic run only feeds the benchmark report
+    wall_event, (uni_event, job_event) = _best_of(
+        lambda: allreduce_run(batch=False))
+
+    def run():
+        return allreduce_run(batch=True)
+
+    uni_batch, job_batch = benchmark.pedantic(run, rounds=1, iterations=1,
+                                              warmup_rounds=1)
+    wall_batch, _ = _best_of(lambda: allreduce_run(batch=True))
+
+    # both substrates agree on the result and the work done
+    assert job_batch.results() == job_event.results() == [float(N_RANKS)] * N_RANKS
+    calls = uni_batch.stats.collectives["allreduce"]
+    assert calls == uni_event.stats.collectives["allreduce"] == N_RANKS * N_ROUNDS
+    # logical event accounting is path-independent
+    assert uni_batch.engine.events_processed == uni_event.engine.events_processed
+
+    ratio = wall_event / wall_batch
+    rate = N_RANKS * N_ROUNDS / wall_batch
+    print(f"\n{N_RANKS} ranks x {N_ROUNDS} rounds: batch {wall_batch:.3f}s, "
+          f"event {wall_event:.3f}s -> {ratio:.1f}x "
+          f"({rate:,.0f} rank-rounds/s)")
+    # the acceptance bar: >= 5x engine throughput on allreduce at 1024
+    # ranks (measured ~8-10x on the 1-CPU reference box, far higher on
+    # real hardware — the event path is quadratic per round, the batch
+    # path linear, so the gap only widens with rank count)
+    assert ratio >= 5.0

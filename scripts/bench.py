@@ -19,6 +19,17 @@ Usage::
     PYTHONPATH=src python scripts/bench.py [-o BENCH_substrate.json]
     PYTHONPATH=src python scripts/bench.py --smoke   # CI: runs, no JSON
     PYTHONPATH=src python scripts/bench.py --experiments  # sweep engine
+    PYTHONPATH=src python scripts/bench.py --scale [--smoke]  # rank scaling
+
+``--scale`` measures events/s and peak RSS versus rank count (16 ->
+8192) for the batch-vectorised substrate against the per-rank event
+path, on an allreduce workload and a ring halo-exchange workload, and
+merges the curves into ``BENCH_substrate.json`` under ``"scale"``.
+Every point runs in its own subprocess: ``ru_maxrss`` is monotone per
+process, so peak-RSS curves are only meaningful with one measurement
+per process image.  The event path's rendezvous is O(ranks) per arrival
+(quadratic per round), so its allreduce curve is capped at 1024 ranks —
+the cap is recorded in the JSON, not silently applied.
 
 Each measurement is the best of ``--repeats`` runs (default 3) — wall
 time of the fastest run, which is the least noisy estimator on a shared
@@ -39,6 +50,8 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -56,6 +69,19 @@ N_COLL_RANKS = 16
 N_COLL_ROUNDS = 200
 SOLVER_LEVEL = 7
 N_SOLVER_STEPS = 400
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; it is monotone
+    over the process lifetime, so callers who want per-workload peaks must
+    isolate each workload in its own process (the ``--scale`` mode does).
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        rss //= 1024
+    return round(rss / 1024.0, 1)
 
 
 def _best(fn, repeats: int):
@@ -129,6 +155,137 @@ def bench_solver(repeats: int) -> dict:
         "solver_steps": N_SOLVER_STEPS,
         "solver_steps_per_s": round(N_SOLVER_STEPS / secs),
     }
+
+
+# ----------------------------------------------------------------------
+# rank-scaling benchmark (--scale -> "scale" section of the JSON)
+# ----------------------------------------------------------------------
+
+#: rank counts measured by --scale (smoke keeps the first three)
+SCALE_RANKS = (16, 64, 256, 1024, 4096, 8192)
+SCALE_RANKS_SMOKE = (16, 64, 256)
+#: total rank-rounds per point; rounds = max(4, budget // ranks) so the
+#: wall time per point stays roughly flat as ranks grow
+SCALE_BUDGET = 16384
+SCALE_BUDGET_SMOKE = 1024
+#: largest rank count measured on the event path, per workload: the
+#: rendezvous dead-member scan is O(ranks) per arrival, so event-path
+#: allreduce is quadratic per round and unmeasurable at fig scale
+SCALE_EVENT_CAP = {"allreduce": 1024, "halo": 8192}
+_SCALE_HALO_WIDTH = 64
+
+
+def run_scale_point(spec: dict) -> dict:
+    """One (workload, mode, ranks) measurement, in-process.
+
+    Invoked in a fresh subprocess per point by :func:`run_scale_bench` so
+    the reported peak RSS belongs to this point alone.
+    """
+    import numpy as np
+
+    workload = spec["workload"]
+    n = spec["ranks"]
+    rounds = spec["rounds"]
+    batch = spec["mode"] == "batch"
+
+    if workload == "allreduce":
+        async def main(ctx):
+            comm = ctx.comm
+            for _ in range(rounds):
+                await comm.allreduce(1.0)
+    else:  # halo: the solvers' ring-exchange idiom
+        async def main(ctx):
+            comm, r, size = ctx.comm, ctx.rank, ctx.size
+            prev_r, next_r = (r - 1) % size, (r + 1) % size
+            u = np.full(_SCALE_HALO_WIDTH, float(r))
+            for _ in range(rounds):
+                lo, hi = await comm.exchange(
+                    ((prev_r, 1, u.copy()), (next_r, 2, u.copy())),
+                    ((prev_r, 2), (next_r, 1)), copy=False)
+                u = (u + lo + hi) / 3.0
+
+    t0 = time.perf_counter()
+    uni = Universe(IDEAL, batch=batch)
+    uni.launch(n, main)
+    uni.run()
+    wall = time.perf_counter() - t0
+    events = uni.engine.events_processed
+    rank_rounds = n * rounds
+    return {
+        "workload": workload,
+        "mode": spec["mode"],
+        "ranks": n,
+        "rounds": rounds,
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_s": round(events / wall),
+        "rank_rounds_per_s": round(rank_rounds / wall),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+def run_scale_bench(output: str, smoke: bool) -> int:
+    ranks = SCALE_RANKS_SMOKE if smoke else SCALE_RANKS
+    budget = SCALE_BUDGET_SMOKE if smoke else SCALE_BUDGET
+    points = []
+    for workload in ("allreduce", "halo"):
+        for n in ranks:
+            for mode in ("batch", "event"):
+                if mode == "event" and n > SCALE_EVENT_CAP[workload]:
+                    continue
+                points.append({"workload": workload, "mode": mode,
+                               "ranks": n, "rounds": max(4, budget // n)})
+
+    results = []
+    for spec in points:
+        # one subprocess per point: ru_maxrss is per-process-monotone
+        proc = subprocess.run(
+            [sys.executable, __file__, "--scale-point", json.dumps(spec)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout, proc.stderr, sep="\n", file=sys.stderr)
+            print(f"scale point failed: {spec}", file=sys.stderr)
+            return 1
+        point = json.loads(proc.stdout)
+        results.append(point)
+        print(f"{point['workload']:>10} {point['mode']:>6} "
+              f"ranks={point['ranks']:<5} wall={point['wall_s']:>8.3f}s "
+              f"events/s={point['events_per_s']:>10,} "
+              f"rss={point['peak_rss_mb']:.1f}MB")
+
+    by_key = {(p["workload"], p["mode"], p["ranks"]): p for p in results}
+    speedups = []
+    for workload in ("allreduce", "halo"):
+        for n in ranks:
+            b = by_key.get((workload, "batch", n))
+            e = by_key.get((workload, "event", n))
+            if b and e:
+                speedups.append({
+                    "workload": workload, "ranks": n,
+                    "events_per_s": round(
+                        b["events_per_s"] / e["events_per_s"], 2),
+                    "rank_rounds_per_s": round(
+                        b["rank_rounds_per_s"] / e["rank_rounds_per_s"], 2),
+                })
+    for s in speedups:
+        print(f"{s['workload']:>10} ranks={s['ranks']:<5} batch/event "
+              f"speedup: {s['rank_rounds_per_s']}x wall, "
+              f"{s['events_per_s']}x events/s")
+
+    section = {
+        "smoke": smoke,
+        "rank_rounds_budget": budget,
+        "event_path_rank_cap": SCALE_EVENT_CAP,
+        "points": results,
+        "batch_speedup": speedups,
+    }
+    path = Path(output)
+    merged = json.loads(path.read_text()) if path.exists() else {}
+    merged["scale"] = section
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"wrote scale section to {output}"
+          + (" (smoke numbers: not representative)" if smoke else ""))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -238,8 +395,20 @@ def main(argv=None) -> int:
     ap.add_argument("--experiments", action="store_true",
                     help="benchmark the sweep engine (serial vs pool vs "
                          "warm cache) instead of the substrate")
+    ap.add_argument("--scale", action="store_true",
+                    help="events/s and peak-RSS curves vs rank count, "
+                         "batch vs event substrate (merged into the JSON "
+                         "under 'scale')")
+    ap.add_argument("--scale-point", metavar="JSON", default=None,
+                    help=argparse.SUPPRESS)  # internal: one point, one proc
     args = ap.parse_args(argv)
 
+    if args.scale_point is not None:
+        print(json.dumps(run_scale_point(json.loads(args.scale_point))))
+        return 0
+    if args.scale:
+        return run_scale_bench(args.output or "BENCH_substrate.json",
+                               args.smoke)
     if args.experiments:
         return run_experiments_bench(
             args.output or "BENCH_experiments.json", args.smoke)
@@ -267,6 +436,7 @@ def main(argv=None) -> int:
     results.update(bench_messages(args.repeats))
     results.update(bench_collectives(args.repeats))
     results.update(bench_solver(args.repeats))
+    results["peak_rss_mb"] = peak_rss_mb()
 
     for key in ("msg_per_s", "events_per_s", "coll_rounds_per_s",
                 "solver_steps_per_s"):

@@ -222,6 +222,13 @@ def _blockers(task, info) -> List[Tuple[object, str]]:
             if m.uid not in rv.arrivals and not m.dead \
                     and _task_of(m) is not None:
                 out.append((_task_of(m), reason))
+    elif kind == "batchcoll":
+        rnd = info["rnd"]
+        reason = f"{info['op']} on {state.name}"
+        arrived = set(rnd.arrived)
+        for r, p in enumerate(state.procs):
+            if r not in arrived and not p.dead and _task_of(p) is not None:
+                out.append((_task_of(p), reason))
     return out
 
 
@@ -259,6 +266,14 @@ def _reconstruct_waits_for(task, fut) -> Optional[dict]:
                 if entry is not None and entry[3] is fut:
                     return {"kind": "coll", "op": rv.op_name,
                             "state": state, "rv": rv}
+        batch = getattr(state, "batch", None)
+        if batch is not None:
+            # batch fast path: every parked rank of an open round waits on
+            # the round's single shared future
+            for op, rnd in getattr(batch, "open", {}).items():
+                if rnd.fut is fut:
+                    return {"kind": "batchcoll", "op": op,
+                            "state": state, "rnd": rnd}
     return None
 
 

@@ -1,0 +1,328 @@
+"""Batch-vectorised fast path for failure-free collective rounds.
+
+The event-path cost of a collective is dominated by per-rank machinery:
+one :class:`~repro.mpi.collectives.Rendezvous` arrival (with an O(members)
+dead-member scan per arrival — O(N²) per round), one future, and one resume
+event per rank.  On a healthy communicator all of that is redundant: every
+live rank joins the *same* round, the round completes at the last arrival,
+and every participant resumes at ``latest_arrival + cost``.
+
+:class:`BatchCollectives` exploits exactly that.  Ranks contribute into a
+preallocated per-round value row; the last arriver finishes the round with
+one fold/clone pass and wakes all parked ranks through a single
+``_EV_BATCH`` engine event (see ``Engine.schedule_future_batch``).  Rounds,
+their futures and their contribution buffers are slot-reused via a free
+list, so steady-state rounds allocate almost nothing.
+
+Bit-identity with the event path is the design invariant, not an
+aspiration; every rule below mirrors a specific event-path behaviour:
+
+* **fold order** — reductions fold left-to-right in rank order, skipping
+  ``None`` contributions, exactly like the event finishers.  No numpy
+  pairwise reductions (they change float rounding).
+* **result aliasing** — results are cloned at *completion time* (root keeps
+  its original object for bcast/reduce/gather, exactly like the event
+  finishers), never shared mutably across ranks.
+* **timing** — completion at ``last_arrival + cost`` with the identical
+  ``cost_fn`` inputs (max contribution nbytes; ``barrier_cost`` for
+  barrier).
+* **failure parity** — a member death while a round is open dooms it with
+  the *same* :class:`ProcFailedError` (message included, via
+  :func:`~repro.mpi.collectives.doom_exception`) at ``death + detect``;
+  ranks that reach the doomed round later receive the original exception at
+  ``their_now + detect``, mirroring ``Rendezvous.arrive`` on a doomed
+  rendezvous.  Revocation dooms open rounds with the shared
+  ``RevokedError`` instance at ``revoke + detect``, mirroring
+  ``RendezvousTable.doom_all``.
+* **fallback** — any condition the fast path does not model (dead members,
+  revoked communicator, diagnostics mode, an attached tracer, SURVIVOR-kind
+  ops, the long-tail ops) declines the join and the caller takes the event
+  path.  Both paths consume exactly one ``next_op_index`` per call, so a
+  program may freely alternate between them and collective matching stays
+  aligned across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .collectives import doom_exception
+from .datatypes import _IMMUTABLE_TYPES, clone_payload
+from .errors import RankError
+
+#: result delivery shapes (int tags, compared with ``==`` in ``take``)
+_SHARED = 0      # every rank reads ``result`` (immutable -> sharing is safe)
+_ROOT_ONLY = 1   # root reads ``result``; everyone else gets None
+_PER_RANK = 2    # rank i reads ``per_rank[i]`` (clones made at completion)
+
+#: identity-keyed substitutions of the comm module's reduction lambdas by
+#: their C-level equivalents (populated by :mod:`repro.mpi.comm` at import
+#: time).  Only ops whose builtin is semantically identical for *every*
+#: payload type are listed; user-supplied operators are never touched.
+FAST_OPS: Dict[Callable, Callable] = {}
+
+
+class _Round:
+    """One open (or draining) batch collective round."""
+
+    __slots__ = ("owner", "fut", "op", "idx", "reduce_op", "root",
+                 "values", "arrived", "n", "max_nbytes", "kind", "result",
+                 "per_rank", "reads")
+
+    def __init__(self, owner: "BatchCollectives"):
+        self.owner = owner
+        self.fut = owner.engine.create_future()
+        self.values: List[Any] = [None] * owner.size
+        #: ranks that have joined, in arrival order (barrier contributions
+        #: are None, so ``values`` cannot double as the arrival record; the
+        #: deadlock explainer needs this to name the missing ranks)
+        self.arrived: List[int] = []
+        self.n = 0
+        self.max_nbytes = 0
+        self.result = None
+        self.per_rank: Optional[List[Any]] = None
+        self.reads = 0
+
+    def take(self, rank: int):
+        """This rank's result; recycles the round once every rank has read."""
+        kind = self.kind
+        if kind == _SHARED:
+            out = self.result
+        elif kind == _ROOT_ONLY:
+            out = self.result if rank == self.root else None
+        else:
+            out = self.per_rank[rank]
+        n = self.reads - 1
+        self.reads = n
+        if n == 0:
+            self.owner._recycle(self)
+        return out
+
+
+class _DoomedJoin:
+    """Join result for a rank arriving after its round was doomed — carries
+    only the pre-failed future (``take`` is never reached)."""
+
+    __slots__ = ("fut",)
+
+    def __init__(self, fut):
+        self.fut = fut
+
+
+def _fold(values: List[Any], op: Callable):
+    """Left fold in rank order, skipping ``None`` contributions —
+    bit-identical to the event path's reduce/allreduce finisher loop."""
+    op = FAST_OPS.get(op, op)
+    acc = None
+    for v in values:
+        if v is None:
+            continue
+        acc = v if acc is None else op(acc, v)
+    return acc
+
+
+class BatchCollectives:
+    """Per-communicator batch engine for failure-free collective rounds."""
+
+    __slots__ = ("state", "engine", "machine", "stats", "size", "detect",
+                 "open", "doomed", "_pool", "_none_row", "_counters")
+
+    def __init__(self, state):
+        uni = state.universe
+        self.state = state
+        self.engine = uni.engine
+        self.machine = uni.machine
+        self.stats = uni.stats
+        self.size = state.size
+        self.detect = uni.machine.failure_detection_latency
+        #: op name -> open round (at most one per op: a round closes at its
+        #: last arrival, and no rank can start round k+1 before passing
+        #: through round k)
+        self.open: Dict[str, _Round] = {}
+        #: (op name, op index) -> original doom exception, for ranks that
+        #: reach an already-doomed round (epoch-bounded: op indices are
+        #: never reused, and a damaged communicator is abandoned after
+        #: recovery, so entries are never deleted)
+        self.doomed: Dict[tuple, BaseException] = {}
+        self._pool: List[_Round] = []
+        self._none_row: List[Any] = [None] * state.size
+        #: cached mpi_collectives counter instruments (one registry lookup
+        #: per op name per communicator instead of one per join)
+        self._counters: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _record(self, op: str) -> None:
+        c = self._counters.get(op)
+        if c is None:
+            c = self._counters[op] = self.stats.registry.counter(
+                "mpi_collectives", op=op)
+        c.value += 1
+
+    def join(self, op: str, proc, rank: int, value: Any, nbytes: int,
+             reduce_op: Optional[Callable] = None, root: int = 0):
+        """Contribute to the open round for ``op`` (creating it if needed).
+
+        Returns the round (await ``round.fut`` then ``round.take(rank)``),
+        a :class:`_DoomedJoin` whose future already carries the round's
+        original doom exception, or ``None`` — meaning the fast path
+        declines and the caller must run the event path.  An op index is
+        consumed (and the collective counted) exactly when the join is
+        accepted, preserving the one-index-per-call contract.
+        """
+        state = self.state
+        key = (proc.uid, "coll")
+        idx = state._op_counts[key]            # peek; consume only on accept
+        rnd = self.open.get(op)
+        if rnd is not None:
+            if rnd.idx != idx:                 # pragma: no cover - defensive
+                return None
+            state._op_counts[key] = idx + 1
+            self._record(op)
+            rnd.values[rank] = value
+            rnd.arrived.append(rank)
+            if nbytes > rnd.max_nbytes:
+                rnd.max_nbytes = nbytes
+            rnd.n += 1
+            if rnd.n == self.size:
+                del self.open[op]
+                self._complete(rnd)
+            return rnd
+        exc = self.doomed.get((op, idx))
+        if exc is not None:
+            # late arrival to a doomed round: original exception, delivered
+            # after the detection latency (Rendezvous.arrive parity)
+            state._op_counts[key] = idx + 1
+            self._record(op)
+            engine = self.engine
+            fut = engine.create_future()
+            fut.set_exception(exc, at=engine.now + self.detect)
+            return _DoomedJoin(fut)
+        if state._dead_ranks:
+            # damaged communicator: the event path models the doomed
+            # rendezvous / failure-detection probe semantics
+            return None
+        state._op_counts[key] = idx + 1
+        self._record(op)
+        pool = self._pool
+        rnd = pool.pop() if pool else _Round(self)
+        rnd.op = op
+        rnd.idx = idx
+        rnd.reduce_op = reduce_op
+        rnd.root = root
+        rnd.values[rank] = value
+        rnd.arrived.append(rank)
+        rnd.max_nbytes = nbytes
+        rnd.n = 1
+        if self.size == 1:
+            self._complete(rnd)
+        else:
+            self.open[op] = rnd
+        return rnd
+
+    # ------------------------------------------------------------------
+    def _complete(self, rnd: _Round) -> None:
+        """Finish a fully-arrived round: cost, fold/clone, batched wake-up.
+
+        Runs at the last arrival instant, so ``engine.now`` is the event
+        path's ``latest`` and completion lands at ``now + cost``.
+        """
+        engine = self.engine
+        now = engine.now
+        op = rnd.op
+        size = self.size
+        values = rnd.values
+        try:
+            if op == "barrier":
+                cost = self.machine.barrier_cost(size)
+                rnd.kind = _SHARED
+                rnd.result = None
+            else:
+                cost = self.machine.collective_cost(size, rnd.max_nbytes)
+                if op == "allreduce":
+                    acc = _fold(values, rnd.reduce_op)
+                    if type(acc) in _IMMUTABLE_TYPES:
+                        rnd.kind = _SHARED
+                        rnd.result = acc
+                    else:
+                        rnd.kind = _PER_RANK
+                        rnd.per_rank = [clone_payload(acc)
+                                        for _ in range(size)]
+                elif op == "reduce":
+                    rnd.kind = _ROOT_ONLY
+                    rnd.result = _fold(values, rnd.reduce_op)
+                elif op == "bcast":
+                    v = values[rnd.root]
+                    if type(v) in _IMMUTABLE_TYPES:
+                        rnd.kind = _SHARED
+                        rnd.result = v
+                    else:
+                        # root keeps its original object, like the finisher
+                        rnd.kind = _PER_RANK
+                        root = rnd.root
+                        rnd.per_rank = [v if i == root else clone_payload(v)
+                                        for i in range(size)]
+                elif op == "gather":
+                    rnd.kind = _ROOT_ONLY
+                    rnd.result = list(values)   # originals, finisher parity
+                elif op == "allgather":
+                    ordered = list(values)
+                    rnd.kind = _PER_RANK
+                    rnd.per_rank = [clone_payload(ordered)
+                                    for _ in range(size)]
+                elif op == "scatter":
+                    items = values[rnd.root]
+                    if items is None or len(items) != size:
+                        raise RankError(
+                            f"scatter root must supply {size} items")
+                    rnd.kind = _PER_RANK
+                    rnd.per_rank = [clone_payload(items[i])
+                                    for i in range(size)]
+                else:  # pragma: no cover - join() only admits the ops above
+                    raise RuntimeError(f"batch round for unknown op {op!r}")
+        except Exception as exc:
+            # malformed collective: fails uniformly on every participant at
+            # the last arrival instant, like Rendezvous._complete
+            rnd.fut.set_exception(exc, at=now)
+            return
+        rnd.reads = size
+        engine.schedule_future_batch(rnd.fut, None, now + cost)
+
+    # ------------------------------------------------------------------
+    def _recycle(self, rnd: _Round) -> None:
+        rnd.values[:] = self._none_row
+        del rnd.arrived[:]
+        rnd.n = 0
+        rnd.max_nbytes = 0
+        rnd.result = rnd.per_rank = rnd.reduce_op = None
+        rnd.fut.recycle()
+        self._pool.append(rnd)
+
+    # ------------------------------------------------------------------
+    # failure propagation (cold paths)
+    # ------------------------------------------------------------------
+    def on_death(self, rank: int, now: float) -> None:
+        """A member died: doom every open round (ProcFailedError at
+        ``now + detect``, identical message to ``Rendezvous._doom``) and
+        arm the doomed-continuation for ranks that have not arrived yet."""
+        if not self.open:
+            return
+        at = now + self.detect
+        for op, rnd in self.open.items():
+            exc = doom_exception(op, (rank,))
+            self.doomed[(op, rnd.idx)] = exc
+            rnd.fut.set_exception(exc, at=at)
+        self.open.clear()
+
+    def on_revoke(self, exc: BaseException, now: float) -> None:
+        """The communicator was revoked: doom every open round with the
+        shared exception instance, like ``RendezvousTable.doom_all``.
+
+        No doomed-continuation is needed — ranks reaching the collective
+        after revocation fail the ``_check_usable`` gate synchronously on
+        the event path (the fast path declines revoked communicators)."""
+        if not self.open:
+            return
+        at = now + self.detect
+        for rnd in self.open.values():
+            rnd.fut.set_exception(exc, at=at)
+        self.open.clear()

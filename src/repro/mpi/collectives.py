@@ -30,6 +30,18 @@ class RvKind(enum.Enum):
     SURVIVOR = "survivor"
 
 
+def doom_exception(op_name: str, ranks: tuple) -> ProcFailedError:
+    """The uniform collective-failure error.
+
+    Shared between the rendezvous event path and the batch fast path
+    (:mod:`repro.mpi.batchcoll`) so both produce byte-identical messages —
+    the property tests compare them directly.
+    """
+    return ProcFailedError(
+        f"collective {op_name} failed: dead ranks {ranks}",
+        failed_ranks=ranks)
+
+
 class Rendezvous:
     """One in-flight collective operation."""
 
@@ -101,9 +113,7 @@ class Rendezvous:
 
     def _doom(self, now: float, dead) -> None:
         ranks = tuple(sorted(self.rank_of(p) for p in dead))
-        self.doomed = ProcFailedError(
-            f"collective {self.op_name} failed: dead ranks {ranks}",
-            failed_ranks=ranks)
+        self.doomed = doom_exception(self.op_name, ranks)
         when = now + self.detection_latency
         for proc, _value, _t, fut in self.arrivals.values():
             if fut is not None and not fut.done:

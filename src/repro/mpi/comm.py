@@ -10,17 +10,20 @@ distributed object and each process holds a local handle.
 from __future__ import annotations
 
 import itertools
+import operator
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..simkernel.traps import Sleep
+from . import batchcoll
+from .batchcoll import BatchCollectives
 from .collectives import Rendezvous, RendezvousTable, RvKind
 from .datatypes import clone_payload, freeze_payload, payload_nbytes
 from .errors import (ANY_SOURCE, ANY_TAG, UNDEFINED, CommInvalidError,
                      MPIError, ProcFailedError, RankError, RevokedError)
 from .group import Group
-from .matching import MessageBoard
+from .matching import ExchangeOp, MessageBoard
 from .process import Proc
 
 _comm_ids = itertools.count()
@@ -95,6 +98,13 @@ def BAND(a, b):
     return a & b
 
 
+# the batch fast path substitutes the C-level operator for the ops whose
+# builtin is semantically identical on every payload type (MIN/MAX/LAND
+# branch on the operand type, so they fold through the Python functions)
+batchcoll.FAST_OPS.update({SUM: operator.add, PROD: operator.mul,
+                           BAND: operator.and_})
+
+
 class CommState:
     """Shared state of one intracommunicator."""
 
@@ -121,6 +131,10 @@ class CommState:
             i for i, p in enumerate(self.procs) if p.dead)
         #: cached diagnostics switch (future labels / waits_for annotations)
         self.diag = universe.diagnostics
+        #: batch-vectorised fast path for failure-free collective rounds
+        #: (None when the universe runs with batching disabled)
+        self.batch: Optional[BatchCollectives] = \
+            BatchCollectives(self) if universe.batch else None
         universe.stats.comms_created += 1
         for p in self.procs:
             p.comm_states.add(self)
@@ -164,15 +178,22 @@ class CommState:
         self.board.drop_waiters_of(rank)
         self.board.on_rank_death(rank, now)
         self.rtable.on_proc_death(proc, now)
+        if self.batch is not None:
+            self.batch.on_death(rank, now)
 
     def do_revoke(self, now: float) -> None:
         if self.revoked:
             return
         self.revoked = True
         self.universe.trace(self.name, "revoked", "propagated")
+        # one shared exception instance across every doomed operation,
+        # exactly like the historical doom_all-only path
+        exc = RevokedError(f"{self.name} revoked")
+        detect = self.universe.machine.failure_detection_latency
         self.board.revoke_all(now)
-        self.rtable.doom_all(RevokedError(f"{self.name} revoked"), now,
-                             self.universe.machine.failure_detection_latency)
+        self.rtable.doom_all(exc, now, detect)
+        if self.batch is not None:
+            self.batch.on_revoke(exc, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = " revoked" if self.revoked else ""
@@ -195,6 +216,13 @@ class CommHandle:
         self._machine = state.universe.machine
         self._board = state.board
         self._stats = state.universe.stats
+        self._uni = state.universe
+        # batch eligibility that is static for the handle's lifetime:
+        # diagnostics mode needs the per-operation futures/annotations the
+        # fast path skips.  Revocation and tracer attachment are checked
+        # per call (they can change mid-run).
+        self._batch = state.batch if not state.diag else None
+        self._xop: Optional[ExchangeOp] = None  # reused fused-exchange op
 
     # -- basics ------------------------------------------------------------
     @property
@@ -380,9 +408,102 @@ class CommHandle:
 
         return Request(fut, transform=_complete)
 
+    def _post_unrevoked(self, dest: int, tag: int, payload: Any,
+                        arrival: float) -> None:
+        """Deferred message delivery for :meth:`exchange` (same revocation
+        guard as ``isend``'s post closure, without the per-send future)."""
+        if not self.state.revoked:
+            self._board.post(self.rank, dest, tag, payload, arrival)
+
+    async def exchange(self, sends: Sequence[Tuple[int, int, Any]],
+                       recvs: Sequence[Tuple[int, int]], *,
+                       copy: bool = True) -> List[Any]:
+        """Fused neighbour exchange: ``isend`` each ``(dest, tag, payload)``,
+        receive each ``(source, tag)``, wait for the sends — one awaited
+        future instead of ``len(sends) + len(recvs)`` per phase.
+
+        Semantically (and, on the event path, literally) equivalent to::
+
+            reqs = [self.isend(obj, d, t, copy=copy) for d, t, obj in sends]
+            out = [await self.recv(s, t) for s, t in recvs]
+            for r in reqs:
+                await r.wait()
+            return out
+
+        which is the halo-exchange idiom of both solvers.  The fast path
+        requires a healthy communicator (no dead members — dead-target send
+        futures only exist on the event path), no tracer and no
+        diagnostics; receives register sequentially at their predecessors'
+        resolution instants, so failures landing mid-exchange surface with
+        event-path timing (see :class:`~repro.mpi.matching.ExchangeOp`).
+        """
+        state = self.state
+        if (self._batch is None or state.revoked or state._dead_ranks
+                or self._uni.tracer is not None
+                or not self._valid_specs(sends, recvs)):
+            reqs = [self.isend(obj, dest, tag, copy=copy)
+                    for dest, tag, obj in sends]
+            out = [await self.recv(source, tag) for source, tag in recvs]
+            for r in reqs:
+                await r.wait()
+            return out
+        engine = self._engine
+        machine = self._machine
+        stats = self._stats
+        now = engine.now
+        floor = now
+        post = self._post_unrevoked
+        for dest, tag, obj in sends:
+            nbytes = payload_nbytes(obj)
+            stats.record_message(nbytes)
+            payload = clone_payload(obj) if copy else freeze_payload(obj)
+            arrival = now + machine.p2p_cost(nbytes)
+            if arrival > floor:
+                floor = arrival
+            engine.call_at(arrival, post, dest, tag, payload, arrival)
+        xop = self._xop
+        if xop is None or xop.active:
+            xop = self._xop = ExchangeOp(self._board, state, self.rank)
+        try:
+            payloads = await xop.begin(recvs, floor)
+        except MPIError as exc:
+            self._raise(exc)
+        result = list(payloads)
+        xop.finish()
+        return result
+
+    def _valid_specs(self, sends, recvs) -> bool:
+        """Range pre-check for the fused fast path; invalid specs take the
+        event path so the error surfaces exactly where the unfused sequence
+        would raise it."""
+        n = self.state.size
+        for dest, _tag, _obj in sends:
+            if not 0 <= dest < n:
+                return False
+        for source, _tag in recvs:
+            if source != ANY_SOURCE and not 0 <= source < n:
+                return False
+        return bool(recvs)
+
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
+    def _fast_round(self, op: str, value: Any, nbytes: int,
+                    reduce_op: Optional[Callable] = None, root: int = 0):
+        """Try to join the batch fast path for ``op``.
+
+        Returns a round (await its ``fut``, then ``take(rank)``) or ``None``
+        when the event path must run.  The gate mirrors the event path's
+        synchronous checks: a revoked communicator declines here and raises
+        in ``_check_usable``; an attached tracer needs the per-call trace
+        records only the event path emits.
+        """
+        b = self._batch
+        if b is None or self.state.revoked or self._uni.tracer is not None:
+            return None
+        return b.join(op, self.proc, self.rank, value, nbytes,
+                      reduce_op=reduce_op, root=root)
+
     async def _collective(self, op_name: str, value: Any, *,
                           kind: RvKind = RvKind.NORMAL,
                           cost_fn: Callable[[Dict[int, Any]], float],
@@ -427,6 +548,13 @@ class CommHandle:
     async def barrier(self) -> None:
         """``MPI_Barrier`` — fails with ProcFailedError if any member is dead
         (the paper's failure-detection probe, Fig. 3 line 13)."""
+        rnd = self._fast_round("barrier", None, 0)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         n = self.state.size
         await self._collective(
             "barrier", None,
@@ -435,6 +563,15 @@ class CommHandle:
 
     async def bcast(self, obj: Any = None, root: int = 0):
         self._check_rank(root)
+        value = obj if self.rank == root else None
+        rnd = self._fast_round("bcast", value, payload_nbytes(value),
+                               root=root)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):
@@ -449,6 +586,13 @@ class CommHandle:
 
     async def gather(self, obj: Any, root: int = 0):
         self._check_rank(root)
+        rnd = self._fast_round("gather", obj, payload_nbytes(obj), root=root)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):
@@ -461,6 +605,13 @@ class CommHandle:
             "gather", obj, cost_fn=self._coll_cost, finisher=finisher)
 
     async def allgather(self, obj: Any):
+        rnd = self._fast_round("allgather", obj, payload_nbytes(obj))
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):
@@ -472,6 +623,15 @@ class CommHandle:
 
     async def scatter(self, objs: Optional[Sequence] = None, root: int = 0):
         self._check_rank(root)
+        value = objs if self.rank == root else None
+        rnd = self._fast_round("scatter", value, payload_nbytes(value),
+                               root=root)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):
@@ -489,6 +649,14 @@ class CommHandle:
 
     async def reduce(self, obj: Any, op: Callable = SUM, root: int = 0):
         self._check_rank(root)
+        rnd = self._fast_round("reduce", obj, payload_nbytes(obj),
+                               reduce_op=op, root=root)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):
@@ -505,6 +673,14 @@ class CommHandle:
             "reduce", obj, cost_fn=self._coll_cost, finisher=finisher)
 
     async def allreduce(self, obj: Any, op: Callable = SUM):
+        rnd = self._fast_round("allreduce", obj, payload_nbytes(obj),
+                               reduce_op=op)
+        if rnd is not None:
+            try:
+                await rnd.fut
+            except MPIError as exc:
+                self._raise(exc)
+            return rnd.take(self.rank)
         state = self.state
 
         def finisher(arrived, live):

@@ -10,6 +10,7 @@ process failures (the analogue of the paper's
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..machine import Hostfile, MachineSpec
@@ -128,7 +129,8 @@ class Universe:
     def __init__(self, machine: MachineSpec = OPL, *,
                  hostfile: Optional[Hostfile] = None,
                  engine: Optional[Engine] = None,
-                 diagnostics: bool = False):
+                 diagnostics: bool = False,
+                 batch: Optional[bool] = None):
         self.machine = machine
         self.engine = engine or Engine()
         self.hostfile = hostfile
@@ -148,6 +150,14 @@ class Universe:
         #: independently free whenever ``tracer`` is None: call sites check
         #: before building detail strings.
         self.diagnostics = diagnostics
+        #: batch-vectorised fast path for failure-free collective rounds
+        #: and fused halo exchanges (bit-identical to the event path; see
+        #: repro.mpi.batchcoll).  On by default; ``batch=False`` — or the
+        #: ``REPRO_BATCH=0`` environment kill switch — forces every
+        #: operation through the per-rank event path.
+        if batch is None:
+            batch = os.environ.get("REPRO_BATCH", "1") != "0"
+        self.batch = bool(batch)
 
     def trace(self, actor: str, kind: str, detail: str) -> None:
         if self.tracer is not None:

@@ -85,14 +85,11 @@ class DistributedAdvectionSolver:
         if comm.size == 1:
             lo_ghost, hi_ghost = u[-1, :], u[0, :]
         else:
-            req_a = comm.isend(u[0, :].copy(), dest=prev_r,
-                               tag=_HALO_TAG_UP, copy=False)
-            req_b = comm.isend(u[-1, :].copy(), dest=next_r,
-                               tag=_HALO_TAG_DOWN, copy=False)
-            lo_ghost = await comm.recv(source=prev_r, tag=_HALO_TAG_DOWN)
-            hi_ghost = await comm.recv(source=next_r, tag=_HALO_TAG_UP)
-            await req_a.wait()
-            await req_b.wait()
+            lo_ghost, hi_ghost = await comm.exchange(
+                ((prev_r, _HALO_TAG_UP, u[0, :].copy()),
+                 (next_r, _HALO_TAG_DOWN, u[-1, :].copy())),
+                ((prev_r, _HALO_TAG_DOWN), (next_r, _HALO_TAG_UP)),
+                copy=False)
         nloc, ny = u.shape
         w = self._w
         if w is None or w.shape != (nloc + 2, ny + 2):

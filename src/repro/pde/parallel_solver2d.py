@@ -123,14 +123,13 @@ class Distributed2DAdvectionSolver:
             w[0, 1:-1] = u[-1, :]
             w[-1, 1:-1] = u[0, :]
         else:
-            ra = comm.isend(u[0, :].copy(), dest=prev_x, tag=_TAG_XLO,
-                            copy=False)
-            rb = comm.isend(u[-1, :].copy(), dest=next_x, tag=_TAG_XHI,
-                            copy=False)
-            w[0, 1:-1] = await comm.recv(source=prev_x, tag=_TAG_XHI)
-            w[-1, 1:-1] = await comm.recv(source=next_x, tag=_TAG_XLO)
-            await ra.wait()
-            await rb.wait()
+            ghosts = await comm.exchange(
+                ((prev_x, _TAG_XLO, u[0, :].copy()),
+                 (next_x, _TAG_XHI, u[-1, :].copy())),
+                ((prev_x, _TAG_XHI), (next_x, _TAG_XLO)),
+                copy=False)
+            w[0, 1:-1] = ghosts[0]
+            w[-1, 1:-1] = ghosts[1]
 
         # phase 2: y-direction, full rows (including x-ghosts -> corners)
         prev_y, next_y = comm.shift(1, 1)
@@ -138,14 +137,13 @@ class Distributed2DAdvectionSolver:
             w[:, 0] = w[:, -2]
             w[:, -1] = w[:, 1]
         else:
-            ra = comm.isend(w[:, 1].copy(), dest=prev_y, tag=_TAG_YLO,
-                            copy=False)
-            rb = comm.isend(w[:, -2].copy(), dest=next_y, tag=_TAG_YHI,
-                            copy=False)
-            w[:, 0] = await comm.recv(source=prev_y, tag=_TAG_YHI)
-            w[:, -1] = await comm.recv(source=next_y, tag=_TAG_YLO)
-            await ra.wait()
-            await rb.wait()
+            ghosts = await comm.exchange(
+                ((prev_y, _TAG_YLO, w[:, 1].copy()),
+                 (next_y, _TAG_YHI, w[:, -2].copy())),
+                ((prev_y, _TAG_YHI), (next_y, _TAG_YLO)),
+                copy=False)
+            w[:, 0] = ghosts[0]
+            w[:, -1] = ghosts[1]
         return w
 
     async def step(self, n: int = 1) -> None:

@@ -37,6 +37,12 @@ from .traps import _TRAP_FUTURE, _TRAP_SLEEP, SimFuture, Sleep
 #: event kinds (int tags — compared with ``==`` in the hot loop)
 _EV_RESUME = 0
 _EV_CALL = 1
+_EV_BATCH = 2
+
+#: upper bound on recycled ``_Event`` records kept per engine; beyond this
+#: the allocator churn being avoided is already amortised and holding more
+#: would only pin memory after a burst (e.g. a wide collective round)
+_EVENT_POOL_CAP = 4096
 
 #: pre-bound enum members — saves an attribute hop per state transition
 _READY = TaskState.READY
@@ -54,7 +60,12 @@ class _Event:
 
     * ``_EV_RESUME`` — ``a`` is the task, ``b`` the send value, ``c`` the
       exception to throw (or None);
-    * ``_EV_CALL`` — ``a`` is the callable, ``b`` its argument tuple.
+    * ``_EV_CALL`` — ``a`` is the callable, ``b`` its argument tuple;
+    * ``_EV_BATCH`` — ``a`` is a list of tasks resumed back-to-back (in list
+      order) with the shared send value ``b``.  One heap/deque entry stands
+      in for ``len(a)`` consecutive ``_EV_RESUME`` events with consecutive
+      seqs, which is exactly what makes the batch fast path bit-identical
+      to the per-task event path (see ``Engine.schedule_future_batch``).
     """
 
     __slots__ = ("time", "seq", "kind", "a", "b", "c")
@@ -84,6 +95,7 @@ class Engine:
         self._tid = 0
         self.max_events = max_events
         self.events_processed = 0
+        self._pool: list[_Event] = []           # recycled _Event records
         self.trace_enabled = trace
         self.trace: list[tuple] = []
         self.failed_tasks: list[Task] = []
@@ -140,7 +152,28 @@ class Engine:
         Events at exactly ``now`` take the O(1) deque fast path; their FIFO
         position encodes the same ordering a heap push with the next global
         seq would produce (see module docstring).
+
+        Records are checked out of a free list when available: the run loop
+        recycles every dispatched event, so steady-state scheduling does no
+        allocation at all.
         """
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.kind = kind
+            ev.a = a
+            ev.b = b
+            ev.c = c
+            if time <= self.now:
+                ev.time = self.now
+                ev.seq = 0
+                self._immediate.append(ev)
+            else:
+                self._seq += 1
+                ev.time = time
+                ev.seq = self._seq
+                heapq.heappush(self._queue, ev)
+            return
         if time <= self.now:
             self._immediate.append(_Event(self.now, 0, kind, a, b, c))
         else:
@@ -178,6 +211,31 @@ class Engine:
             when = self.now
         self._schedule(when, _EV_RESUME, task, fut._result, fut._exception)
 
+    def schedule_future_batch(self, fut: SimFuture, value: Any,
+                              at: Optional[float] = None) -> float:
+        """Resolve ``fut`` with ``value``, waking all parked waiters through
+        a *single* batched resume event instead of one event each.
+
+        Bit-identity with the per-waiter path: ``set_result`` would schedule
+        one ``_EV_RESUME`` per waiter, in waiter-list (= park) order, with
+        consecutive seqs — and nothing can interleave with those seqs,
+        because they are claimed inside one uninterrupted call.  A single
+        ``_EV_BATCH`` carrying the same list therefore dispatches the same
+        steps in the same order at the same virtual time.  Returns the
+        resolution time.
+        """
+        waiters = fut.take_waiters(value, at)
+        when = fut._time
+        if waiters:
+            for task in waiters:
+                task.state = _READY
+                task.waiting_on = None
+            if len(waiters) == 1:
+                self._schedule(when, _EV_RESUME, waiters[0], value, None)
+            else:
+                self._schedule(when, _EV_BATCH, waiters, value, None)
+        return when
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -197,6 +255,7 @@ class Engine:
         immediate = self._immediate
         heappop = heapq.heappop
         step = self._step
+        pool = self._pool
         processed = self.events_processed
         limit = self.max_events
         try:
@@ -222,12 +281,25 @@ class Engine:
                 if processed > limit:
                     raise SimulationLimitError(
                         f"exceeded {limit} events at t={self.now:g}")
-                if ev.kind == _EV_RESUME:
-                    step(ev.a, ev.b, ev.c)
-                elif ev.kind == _EV_CALL:
-                    ev.a(*ev.b)
+                kind = ev.kind
+                a, b, c = ev.a, ev.b, ev.c
+                # recycle before dispatch: the step may schedule new events,
+                # and handing it this (already-popped) record is safe
+                if len(pool) < _EVENT_POOL_CAP:
+                    ev.a = ev.b = ev.c = None
+                    pool.append(ev)
+                if kind == _EV_RESUME:
+                    step(a, b, c)
+                elif kind == _EV_CALL:
+                    a(*b)
+                elif kind == _EV_BATCH:
+                    # count every logical resume so events/s stays comparable
+                    # between the batch and per-task paths
+                    processed += len(a) - 1
+                    for task in a:
+                        step(task, b, None)
                 else:  # pragma: no cover - defensive
-                    raise RuntimeError(f"unknown event kind {ev.kind!r}")
+                    raise RuntimeError(f"unknown event kind {kind!r}")
         finally:
             # the counter lives in a local inside the loop; publish it even
             # when an event raises so observers always see the true count

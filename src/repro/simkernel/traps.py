@@ -116,6 +116,41 @@ class SimFuture:
             for cb in callbacks:
                 cb(self)
 
+    def take_waiters(self, value: Any, at: Optional[float] = None) -> list:
+        """Mark resolved (like ``set_result``) but *return* the parked waiter
+        tasks instead of scheduling one wake-up each.
+
+        This is the engine's batched-resume entry point
+        (:meth:`~repro.simkernel.engine.Engine.schedule_future_batch` flips
+        the returned tasks to READY and issues a single resume event for the
+        lot).  Only bare rendezvous futures qualify: done-callbacks would
+        observe a different scheduling order, so their presence is an error.
+        """
+        if self._done:
+            raise RuntimeError(f"future {self.label!r} already resolved")
+        if self._callbacks:
+            raise RuntimeError(
+                f"future {self.label!r} has done-callbacks; batched "
+                "resolution would reorder them relative to the wake-ups")
+        self._done = True
+        self._result = value
+        self._exception = None
+        self._time = self.engine.now if at is None else max(at, self.engine.now)
+        waiters = self._waiters
+        self._waiters = []
+        return waiters
+
+    def recycle(self) -> None:
+        """Reset to pristine-unresolved so the cell can be reused.
+
+        Only safe once every consumer has taken its result — the batch
+        collectives layer tracks a read countdown for exactly this purpose.
+        """
+        self._done = False
+        self._result = self._exception = None
+        self._waiters = []
+        self._callbacks = None
+
     def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
         """Run ``cb(self)`` when resolved (immediately if already done)."""
         if self._done:

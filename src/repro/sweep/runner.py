@@ -40,9 +40,17 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Explicit argument > ``REPRO_WORKERS`` > 1 (serial)."""
+    """Explicit argument > ``REPRO_WORKERS`` > 1 (serial).
+
+    On a single-CPU box a process pool only adds fork and pickle overhead,
+    so the ``REPRO_WORKERS``/default paths clamp to serial when
+    ``os.cpu_count() <= 1``.  An explicit ``workers`` argument (the CLI's
+    ``--workers N``) is always honoured verbatim.
+    """
     if workers is not None:
         return max(1, int(workers))
+    if (os.cpu_count() or 1) <= 1:
+        return 1
     env = os.environ.get(WORKERS_ENV, "").strip()
     if env:
         try:

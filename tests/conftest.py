@@ -9,12 +9,13 @@ from repro.mpi.universe import Universe
 
 
 def run_ranks(n, entry, *, machine=IDEAL, argv=(), kills=(), hostfile=None,
-              raise_task_failures=True):
+              raise_task_failures=True, batch=None):
     """Run ``entry(ctx)`` on ``n`` ranks; returns (results, universe).
 
     ``kills`` is a sequence of (rank, time) fail-stop injections.
+    ``batch`` pins the substrate path (None: universe default).
     """
-    uni = Universe(machine, hostfile=hostfile)
+    uni = Universe(machine, hostfile=hostfile, batch=batch)
     job = uni.launch(n, entry, argv)
     for rank, at in kills:
         uni.kill_rank(job, rank, at=at)

@@ -1,0 +1,303 @@
+"""Batch fast path vs event path: bit-identity properties.
+
+Every test here runs the *same* program twice — ``batch=True`` (the
+vectorised collective rounds and fused halo exchanges) and ``batch=False``
+(the per-rank rendezvous/recv event path) — and requires the observable
+outcomes to agree exactly: per-rank results bit-for-bit, virtual finish
+times, failure exceptions (type, message, ``failed_ranks``) and their
+delivery times, and full end-to-end run metrics.  This is the contract
+that lets the fast path stay on by default.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import AppConfig, run_app
+from repro.core.app import app_main
+from repro.core.runner import make_universe
+from repro.ft.failure_injection import FailureGenerator
+from repro.machine.presets import IDEAL, OPL
+from repro.mpi import MAX, MIN, SUM, ProcFailedError
+
+from ..conftest import run_ranks
+
+
+def run_both(n, entry, *, machine=IDEAL, kills=(),
+             raise_task_failures=True):
+    fast, _ = run_ranks(n, entry, machine=machine, kills=kills,
+                        raise_task_failures=raise_task_failures, batch=True)
+    slow, _ = run_ranks(n, entry, machine=machine, kills=kills,
+                        raise_task_failures=raise_task_failures, batch=False)
+    return fast, slow
+
+
+def _normalise(x):
+    """Comparison form: numpy payloads by dtype/shape/bytes (exact)."""
+    if isinstance(x, np.ndarray):
+        return ("nd", str(x.dtype), x.shape, x.tobytes())
+    if isinstance(x, (list, tuple)):
+        return tuple(_normalise(v) for v in x)
+    if isinstance(x, dict):
+        return tuple(sorted((k, _normalise(v)) for k, v in x.items()))
+    return x
+
+
+def assert_identical(fast, slow):
+    assert _normalise(fast) == _normalise(slow)
+
+
+# ----------------------------------------------------------------------
+# failure-free collective rounds
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("machine", [IDEAL, OPL], ids=["ideal", "opl"])
+def test_mixed_collective_script_bit_identical(machine):
+    """A program mixing every batched op, with skewed arrivals, produces
+    identical per-rank values and finish times on both paths."""
+    async def main(ctx):
+        comm, out = ctx.comm, []
+        for step in range(3):
+            await ctx.compute(0.01 * ((ctx.rank * 7 + step) % 5))
+            await comm.barrier()
+            out.append(await comm.allreduce(0.1 * (ctx.rank + 1), op=SUM))
+            out.append(await comm.allreduce(float(ctx.rank), op=MIN))
+            obj = {"step": step} if ctx.rank == step % ctx.size else None
+            out.append(await comm.bcast(obj, root=step % ctx.size))
+            out.append(await comm.gather(ctx.rank ** 2, root=0))
+            out.append(await comm.allgather((ctx.rank, step)))
+            items = [i * 10 + step for i in range(ctx.size)] \
+                if ctx.rank == 1 else None
+            out.append(await comm.scatter(items, root=1))
+            out.append(await comm.reduce(ctx.rank + 0.25, op=MAX, root=2))
+        return out, ctx.wtime()
+
+    fast, slow = run_both(5, main, machine=machine)
+    assert_identical(fast, slow)
+
+
+def test_numpy_allreduce_bit_identical():
+    """Float folds run left-to-right in rank order on both paths — no
+    pairwise reassociation — so the sums agree to the last bit."""
+    async def main(ctx):
+        rng = np.random.default_rng(ctx.rank)
+        acc = []
+        for _ in range(4):
+            v = rng.standard_normal(64) * 10.0 ** rng.integers(-6, 6)
+            acc.append(await ctx.comm.allreduce(v, op=SUM))
+        total = await ctx.comm.allreduce(1, op=SUM)
+        return acc, total, ctx.wtime()
+
+    fast, slow = run_both(7, main, machine=OPL)
+    assert_identical(fast, slow)
+    # and the results are genuinely shared work, not per-rank recompute
+    assert fast[0][1] == 7
+
+
+def test_bcast_aliasing_matches_event_path():
+    """Root keeps its own object; non-roots get private clones (mutations
+    never leak across ranks) — on both paths."""
+    async def main(ctx):
+        arr = np.arange(4.0) if ctx.rank == 2 else None
+        got = await ctx.comm.bcast(arr, root=2)
+        got_is_original = got is arr
+        mutated = got + ctx.rank          # private copy per rank
+        again = await ctx.comm.allgather(mutated)
+        return got_is_original, again
+
+    fast, slow = run_both(4, main)
+    assert_identical(fast, slow)
+    assert fast[2][0] is True and fast[0][0] is False
+
+
+def test_single_rank_communicator():
+    async def main(ctx):
+        await ctx.comm.barrier()
+        return (await ctx.comm.allreduce(2.5, op=SUM),
+                await ctx.comm.gather("x", root=0), ctx.wtime())
+
+    fast, slow = run_both(1, main, machine=OPL)
+    assert_identical(fast, slow)
+
+
+def test_scatter_length_error_identical():
+    async def main(ctx):
+        items = [1, 2] if ctx.rank == 0 else None
+        try:
+            await ctx.comm.scatter(items, root=0)
+        except Exception as exc:
+            return type(exc).__name__, str(exc), ctx.wtime()
+
+    fast, slow = run_both(4, main, machine=OPL)
+    assert_identical(fast, slow)
+
+
+# ----------------------------------------------------------------------
+# fused halo exchange
+# ----------------------------------------------------------------------
+_TAG_UP, _TAG_DOWN = 11, 12
+
+
+async def _ring_exchange(ctx, rounds=5, width=32):
+    """The solvers' halo idiom: exchange boundary rows around a ring."""
+    comm = ctx.comm
+    n, r = ctx.size, ctx.rank
+    prev_r, next_r = (r - 1) % n, (r + 1) % n
+    u = np.full(width, float(r))
+    history = []
+    for step in range(rounds):
+        await ctx.compute(0.001 * ((r * 3 + step) % 4))
+        lo, hi = await comm.exchange(
+            ((prev_r, _TAG_UP, u.copy()), (next_r, _TAG_DOWN, u.copy())),
+            ((prev_r, _TAG_DOWN), (next_r, _TAG_UP)), copy=False)
+        u = (u + lo + hi) / 3.0
+        history.append(u.copy())
+    return history, ctx.wtime()
+
+
+@pytest.mark.parametrize("machine", [IDEAL, OPL], ids=["ideal", "opl"])
+def test_ring_exchange_bit_identical(machine):
+    fast, slow = run_both(6, _ring_exchange, machine=machine)
+    assert_identical(fast, slow)
+
+
+def test_exchange_dead_neighbour_identical():
+    """A neighbour dead before the exchange: same error, same timing
+    (the fast path declines damaged communicators and falls back)."""
+    async def main(ctx):
+        comm, r, n = ctx.comm, ctx.rank, ctx.size
+        prev_r, next_r = (r - 1) % n, (r + 1) % n
+        await ctx.compute(0.5)
+        try:
+            await comm.exchange(
+                ((prev_r, _TAG_UP, 1.0), (next_r, _TAG_DOWN, 1.0)),
+                ((prev_r, _TAG_DOWN), (next_r, _TAG_UP)))
+        except ProcFailedError as exc:
+            return "dead", exc.failed_ranks, ctx.wtime()
+        return "ok", ctx.wtime()
+
+    fast, slow = run_both(4, main, machine=OPL, kills=((2, 0.1),),
+                          raise_task_failures=False)
+    assert_identical(fast, slow)
+    assert fast[1][0] == "dead"
+
+
+def test_exchange_kill_mid_flight_identical():
+    """A neighbour killed while the exchange is parked: the surviving
+    ranks observe the failure at the same virtual instant on both paths."""
+    async def main(ctx):
+        comm, r, n = ctx.comm, ctx.rank, ctx.size
+        prev_r, next_r = (r - 1) % n, (r + 1) % n
+        if r == 2:          # rank 2 never reaches the exchange
+            await ctx.compute(100.0)
+            return "late"
+        try:
+            got = await comm.exchange(
+                ((prev_r, _TAG_UP, float(r)), (next_r, _TAG_DOWN, float(r))),
+                ((prev_r, _TAG_DOWN), (next_r, _TAG_UP)))
+            return "ok", got, ctx.wtime()
+        except ProcFailedError as exc:
+            return "dead", exc.failed_ranks, ctx.wtime()
+
+    fast, slow = run_both(5, main, machine=OPL, kills=((2, 0.3),),
+                          raise_task_failures=False)
+    assert_identical(fast, slow)
+    assert fast[1][0] == "dead" and fast[3][0] == "dead"
+
+
+# ----------------------------------------------------------------------
+# failure injection mid-collective (forced fallback)
+# ----------------------------------------------------------------------
+def test_kill_mid_round_identical_errors_and_times():
+    """Kill a rank while others are parked in an open batch round: every
+    survivor gets the identical ProcFailedError (message included) at the
+    identical virtual time, and late arrivers get the *original* doom."""
+    async def main(ctx):
+        comm, r = ctx.comm, ctx.rank
+        log = []
+        # rank-dependent skew: rank 4 arrives long after the kill
+        await ctx.compute(5.0 if r == 4 else 0.05 * r)
+        for _ in range(2):
+            try:
+                log.append(("ok", await comm.allreduce(r, op=SUM),
+                            ctx.wtime()))
+            except ProcFailedError as exc:
+                log.append(("fail", str(exc), exc.failed_ranks, ctx.wtime()))
+        return log
+
+    fast, slow = run_both(6, main, machine=OPL, kills=((3, 0.4),),
+                          raise_task_failures=False)
+    assert_identical(fast, slow)
+    flat = [e for rank_log in fast if rank_log for e in rank_log]
+    assert any(e[0] == "fail" for e in flat)
+
+
+def test_rounds_after_failure_fall_back_identically():
+    """After a member death the fast path declines every new round; the
+    program keeps collecting identical results through the event path."""
+    async def main(ctx):
+        comm, r = ctx.comm, ctx.rank
+        out = []
+        for step in range(6):
+            await ctx.compute(0.2)
+            try:
+                out.append(await comm.allreduce(1.0, op=SUM))
+            except ProcFailedError as exc:
+                out.append((str(exc), round(ctx.wtime(), 12)))
+        return out
+
+    fast, slow = run_both(4, main, machine=OPL, kills=((1, 0.5),),
+                          raise_task_failures=False)
+    assert_identical(fast, slow)
+
+
+# ----------------------------------------------------------------------
+# whole-application metric identity
+# ----------------------------------------------------------------------
+def _same(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_same(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_same(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def _app_cfg(code="AC", decomposition="1d", steps=8):
+    return AppConfig(n=6, level=4, technique_code=code, steps=steps,
+                     diag_procs=2, checkpoint_count=4,
+                     decomposition=decomposition)
+
+
+@pytest.mark.parametrize("decomposition", ["1d", "2d"])
+@pytest.mark.parametrize("code", ["AC", "CR"])
+def test_solver_run_metrics_identical(code, decomposition):
+    cfg = _app_cfg(code, decomposition)
+    fast = run_app(cfg, OPL, batch=True)
+    slow = run_app(_app_cfg(code, decomposition), OPL, batch=False)
+    assert _same(fast.to_dict(), slow.to_dict())
+    assert _same(fast.phase_breakdown, slow.phase_breakdown)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("code", ["AC", "CR"])
+def test_recovery_sweep_metrics_identical(code, seed):
+    """Random kill plans (mid-solve, through the full ULFM recovery:
+    revoke, shrink, agree, respawn) leave identical metrics either way."""
+    cfg = _app_cfg(code, steps=16)
+    layout = cfg.layout()
+    gen = FailureGenerator(seed, protect={0}, rank_to_grid=layout.gid_of)
+    kills = gen.plan(layout.total_procs, 1 + seed % 2, at=0.5 + 0.4 * seed)
+
+    def one(batch):
+        c = _app_cfg(code, steps=16)
+        uni, total = make_universe(c, OPL, batch=batch)
+        job = uni.launch(total, app_main, argv=(c,))
+        FailureGenerator().inject(uni, job, kills)
+        uni.run()
+        return job.results()[0]
+
+    fast, slow = one(True), one(False)
+    assert fast is not None and slow is not None
+    assert _same(fast.to_dict(), slow.to_dict())

@@ -23,6 +23,7 @@ def cfg(**kw):
 # ----------------------------------------------------------------------
 
 def test_resolve_workers_explicit_wins(monkeypatch):
+    monkeypatch.setattr("repro.sweep.runner.os.cpu_count", lambda: 8)
     monkeypatch.setenv("REPRO_WORKERS", "7")
     assert resolve_workers(3) == 3
     assert resolve_workers() == 7
@@ -34,7 +35,17 @@ def test_resolve_workers_defaults_serial(monkeypatch):
     assert resolve_workers(0) == 1  # clamped
 
 
+def test_resolve_workers_serial_on_one_cpu(monkeypatch):
+    monkeypatch.setattr("repro.sweep.runner.os.cpu_count", lambda: 1)
+    monkeypatch.setenv("REPRO_WORKERS", "7")
+    assert resolve_workers() == 1       # pool would only add overhead
+    assert resolve_workers(7) == 7      # explicit --workers still wins
+    monkeypatch.setattr("repro.sweep.runner.os.cpu_count", lambda: None)
+    assert resolve_workers() == 1       # unknown CPU count: play safe
+
+
 def test_resolve_workers_rejects_junk_env(monkeypatch):
+    monkeypatch.setattr("repro.sweep.runner.os.cpu_count", lambda: 8)
     monkeypatch.setenv("REPRO_WORKERS", "lots")
     with pytest.raises(ValueError, match="REPRO_WORKERS"):
         resolve_workers()
