@@ -37,10 +37,12 @@ def test_full_repo_lint_under_10s(benchmark):
 
 @pytest.mark.benchmark(group="analysis")
 def test_all_rules_exercised_at_speed(benchmark):
-    """Lint the seeded-violation corpus: every rule (ULF001–ULF015) must
-    fire, so the benchmark times the worst case where all analyses run
-    to completion rather than bailing out early on clean code."""
-    assert len(RULES) == 15
+    """Lint the seeded-violation corpus: every rule (ULF001–ULF020) must
+    fire, so the benchmark times the worst case where all analyses —
+    including protocol-model extraction and checking on the annotated
+    fixtures — run to completion rather than bailing out early on clean
+    code."""
+    assert len(RULES) == 20
 
     violations = benchmark.pedantic(lambda: lint_paths([FIXTURES]),
                                     rounds=3, iterations=1,

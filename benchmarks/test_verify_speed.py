@@ -1,0 +1,38 @@
+"""Protocol-verifier performance: the full CR/RC/AC model check must
+stay cheap enough for CI and the ft-layer pytest gate.
+
+The checker explores the cross-rank product state space with
+partial-order reduction and per-op failure injection; this guard keeps
+``python -m repro verify-protocol`` (all three modes at the default
+rank bound, single-failure budget) under 20 seconds — the reference
+machine does it in well under a second, so the ceiling is headroom, not
+a target.
+"""
+
+import pytest
+
+from repro.analysis.model import verify_modes
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_full_verify_under_20s(benchmark):
+    reports = benchmark.pedantic(lambda: verify_modes(),
+                                 rounds=3, iterations=1, warmup_rounds=1)
+    assert {r.mode for r in reports} == {"CR", "RC", "AC"}
+    assert all(r.ok for r in reports)
+    total_states = sum(r.result.states for r in reports)
+    secs = benchmark.stats["mean"]
+    print(f"\n{total_states} product states across 3 modes "
+          f"in {secs * 1e3:.0f}ms")
+    assert secs < 20.0
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_single_mode_verify_subsecond_budget(benchmark):
+    """CR alone (the deepest model: segment loop + checkpoint ops) gets a
+    tighter envelope so state-space regressions surface before they sink
+    the aggregate guard."""
+    (rep,) = benchmark.pedantic(lambda: verify_modes(["CR"]),
+                                rounds=3, iterations=1, warmup_rounds=1)
+    assert rep.ok
+    assert benchmark.stats["mean"] < 10.0

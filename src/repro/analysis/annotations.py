@@ -26,13 +26,29 @@ writes, file I/O, unseeded randomness, and wall-clock reads become
 ULF012 errors.  A justified exception is expressed with the ordinary
 ``# noqa: ULF012`` suppression on the offending line, never by dropping
 the annotation.
+
+The third marker, :func:`protocol_model`, declares an ``async`` per-rank
+entry point a **protocol model**: the skeleton extractor
+(:mod:`repro.analysis.model.extract`) abstracts it into protocol IR and
+the model checker verifies it deadlock-free over every failure placement
+at the annotated rank count (ULF016–ULF020)::
+
+    from repro.analysis import protocol_model
+
+    @protocol_model(ranks=4, failures=1, child="cr_child")
+    async def cr_parent(ctx, world):
+        ...
+
+The comment twin — for fixtures and code that must not import the
+analysis package — is ``# repro: protocol ranks=4 failures=1
+child=cr_child`` on the ``def`` line.
 """
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from typing import Callable, Optional, TypeVar
 
-__all__ = ["pure"]
+__all__ = ["pure", "protocol_model"]
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -46,3 +62,25 @@ def pure(func: _F) -> _F:
     """
     func.__repro_pure__ = True
     return func
+
+
+def protocol_model(func: Optional[_F] = None, *, ranks: int = 4,
+                   failures: int = 1, child: Optional[str] = None):
+    """Declare an async per-rank entry point a protocol model (no-op at
+    runtime).
+
+    The skeleton extractor picks the marked function up, abstracts it
+    (and everything it calls, including the shipped
+    ``ft.reconstruct`` pipeline) into protocol IR, and the model checker
+    explores the cross-rank state space at ``ranks`` processes with up
+    to ``failures`` injected failures.  ``child`` names the module-local
+    entry point that re-spawned processes execute (the ``entry`` handed
+    to ``spawn_multiple``).
+    """
+
+    def mark(f: _F) -> _F:
+        f.__repro_protocol__ = {"ranks": ranks, "failures": failures,
+                                "child": child}
+        return f
+
+    return mark(func) if func is not None else mark

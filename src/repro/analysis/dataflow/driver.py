@@ -9,7 +9,10 @@ and runs
 * the collective-matching + tag-constancy pass (ULF006/ULF009) per
   function, and
 * the interprocedural checkpoint-synchronisation pass (ULF005/ULF010)
-  over the whole module,
+  over the whole module, and
+* the protocol-model pass (ULF016-ULF020) for functions annotated
+  ``@protocol_model`` / ``# repro: protocol`` — extraction plus
+  explicit-state model checking (:mod:`repro.analysis.model`),
 
 returning plain :class:`~repro.analysis.linter.LintViolation` records so
 the existing ``noqa``/report/CLI machinery applies unchanged.
@@ -67,7 +70,8 @@ def analyze_module(tree: ast.Module, path: str,
 
     assert all(r in RULES for r in
                ("ULF005", "ULF006", "ULF007", "ULF008", "ULF009", "ULF010",
-                "ULF011", "ULF012", "ULF013", "ULF014", "ULF015"))
+                "ULF011", "ULF012", "ULF013", "ULF014", "ULF015",
+                "ULF016", "ULF017", "ULF018", "ULF019", "ULF020"))
 
     funcs = collect_functions(tree)
     cfgs: Dict[str, CFG] = {}
@@ -84,4 +88,9 @@ def analyze_module(tree: ast.Module, path: str,
     store = EffectsStore.build(tree, funcs)
     check_purity(tree, flag, store=store, source=source)
     check_escape(tree, flag, store=store, funcs=funcs, cfgs=cfgs)
+    if source is not None:
+        # third layer: protocol-model checking of annotated entry points
+        # (lazy import: the model package reuses the linter's records)
+        from ..model.rules import check_protocol_models
+        violations.extend(check_protocol_models(tree, path, source))
     return violations

@@ -44,7 +44,23 @@ ULF014    unordered-set iteration / id()-derived keys feeding
           aggregation: breaks the bit-identical serial/pool guarantee
 ULF015    unpicklable pool-transport payload (lambda, nested function,
           lock/file/Universe in task arguments)
+ULF016    cross-rank collective-sequence divergence under failure
+          (protocol model checker, :mod:`repro.analysis.model`)
+ULF017    unreachable/incomplete repair state: a survivor can wait on a
+          phase no live rank will enter (model checker)
+ULF018    checkpoint-epoch inconsistency across restore paths (model
+          checker)
+ULF019    spawn/merge handshake mismatch in the repair protocol (model
+          checker)
+ULF020    revoke-propagation gap: a post-failure collective is reachable
+          before every member observes the revoke (model checker)
 ========  ================================================================
+
+Rules ULF016-ULF020 run only on functions annotated ``@protocol_model``
+or ``# repro: protocol``: the protocol-skeleton extractor lowers the
+function (and the shipped recovery pipeline it calls) to protocol IR and
+an explicit-state model checker explores every failure placement; see
+``repro verify-protocol`` for counterexample timelines.
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: ULF002`` /
 ``# noqa: ULF001, ULF004`` to the offending line; a justification may
@@ -55,7 +71,7 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -78,6 +94,13 @@ RULES: Dict[str, str] = {
     "ULF013": "shared cached reference escapes without an owned copy",
     "ULF014": "unordered iteration / id() keys feed aggregated results",
     "ULF015": "unpicklable payload handed to a pool transport",
+    # protocol-model rules (repro.analysis.model): findings of the
+    # explicit-state checker over extracted recovery skeletons
+    "ULF016": "collective sequence diverges across ranks under failure",
+    "ULF017": "survivor can wait on a repair phase no live rank enters",
+    "ULF018": "checkpoint epochs inconsistent across restore paths",
+    "ULF019": "spawn/merge handshake mismatch in the repair protocol",
+    "ULF020": "post-failure collective reachable before revoke observed",
 }
 
 #: CI severity per rule.  ``error`` rules are hard correctness contracts;
@@ -91,6 +114,10 @@ SEVERITY: Dict[str, str] = {
     "ULF009": "warning", "ULF010": "error",
     "ULF011": "error", "ULF012": "error", "ULF013": "warning",
     "ULF014": "warning", "ULF015": "error",
+    # model-checker findings come with a concrete counterexample
+    # interleaving, so they are never heuristic
+    "ULF016": "error", "ULF017": "error", "ULF018": "error",
+    "ULF019": "error", "ULF020": "error",
 }
 
 #: exception names whose handlers count as *failure handlers* (ULF004)
@@ -157,15 +184,23 @@ class LintViolation:
     line: int
     col: int
     message: str
+    #: True when an in-source ``# noqa`` covers this finding.  Suppressed
+    #: findings are normally dropped; ``lint_file(keep_suppressed=True)``
+    #: keeps them marked so SARIF can emit them with a ``suppressions``
+    #: object (the audit trail CI reviewers act on) instead of silently.
+    suppressed: bool = False
 
     @property
     def severity(self) -> str:
         return SEVERITY.get(self.rule, "error")
 
     def to_dict(self) -> dict:
-        return {"rule": self.rule, "severity": self.severity,
-                "path": self.path, "line": self.line, "col": self.col,
-                "message": self.message}
+        d = {"rule": self.rule, "severity": self.severity,
+             "path": self.path, "line": self.line, "col": self.col,
+             "message": self.message}
+        if self.suppressed:
+            d["suppressed"] = True
+        return d
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -369,13 +404,16 @@ def _suppressed(v: LintViolation, lines: Sequence[str]) -> bool:
     return not codes or v.rule in codes
 
 
-def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
+def lint_file(path, *, source: Optional[str] = None,
+              keep_suppressed: bool = False) -> List[LintViolation]:
     """Lint one Python file; syntax errors become a single pseudo-violation
     (rule ``ULF000``) rather than an exception.
 
-    Runs the syntactic visitor (ULF001-ULF004) and the dataflow analyses
-    (ULF005-ULF015), then applies ``noqa`` suppression to the combined
-    result."""
+    Runs the syntactic visitor (ULF001-ULF004) and the dataflow/model
+    analyses (ULF005-ULF020), then applies ``noqa`` suppression to the
+    combined result.  ``keep_suppressed=True`` returns suppressed findings
+    too, marked ``suppressed=True``, instead of dropping them — the SARIF
+    emitter uses this to preserve the suppression audit trail."""
     from .dataflow.driver import analyze_module  # lazy: driver imports us
 
     p = str(path)
@@ -391,7 +429,11 @@ def lint_file(path, *, source: Optional[str] = None) -> List[LintViolation]:
     linter.visit(tree)
     violations = linter.violations + analyze_module(tree, p, source=source)
     lines = source.splitlines()
-    violations = [v for v in violations if not _suppressed(v, lines)]
+    if keep_suppressed:
+        violations = [replace(v, suppressed=True) if _suppressed(v, lines)
+                      else v for v in violations]
+    else:
+        violations = [v for v in violations if not _suppressed(v, lines)]
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
 
 
@@ -406,11 +448,12 @@ def _iter_py_files(paths: Sequence) -> List[Path]:
     return files
 
 
-def lint_paths(paths: Sequence) -> List[LintViolation]:
+def lint_paths(paths: Sequence, *,
+               keep_suppressed: bool = False) -> List[LintViolation]:
     """Lint every ``.py`` file under the given files/directories."""
     out: List[LintViolation] = []
     for f in _iter_py_files(paths):
-        out.extend(lint_file(f))
+        out.extend(lint_file(f, keep_suppressed=keep_suppressed))
     return out
 
 

@@ -1,0 +1,228 @@
+"""Reference protocol programs for the shipped recovery configurations.
+
+Each ``@protocol_model`` function below is the *communication skeleton*
+of one recovery mode of :class:`repro.core.app.SolverApp` — CR
+(checkpoint/restart), RC (resampling/copying) and AC (alternate
+combination) — written as a per-rank async program over the same
+vocabulary the extractor understands.  The bodies are **never
+executed**: ``python -m repro verify-protocol`` extracts them to
+protocol IR, inlines the *real* ``ft.reconstruct`` pipeline
+(``communicator_reconstruct`` / ``repair_comm``), and model-checks the
+cross-rank product state space over every failure placement.
+
+The model dimensions are deliberately small (two grids of two ranks,
+two solve segments): the protocol properties being proved — every
+survivor and every re-spawned process converge on the same collective
+sequence, the spawn/merge handshake matches, checkpoint epochs agree —
+are rank-count-symmetric beyond the first non-trivial configuration,
+while the state space is exponential in ranks.
+
+These functions double as the executable documentation of the recovery
+protocol: a step here corresponds one-to-one with a phase of
+``SolverApp`` (the ``# app:`` comments name the counterpart).
+"""
+
+from __future__ import annotations
+
+from ...ft.reconstruct import communicator_reconstruct
+from ...mpi.comm import MAX
+from ...mpi.errors import MPIError
+from .vocab import ckpt_restore, ckpt_write, grids_of, known_failed_ranks
+
+__all__ = ["MODES", "DEFAULT_RANKS", "GRID_RANKS", "NGRIDS", "SEGMENTS"]
+
+GRID_RANKS = 2
+NGRIDS = 2
+SEGMENTS = 2
+RECOVERY_TAG = 7000
+
+DEFAULT_RANKS = GRID_RANKS * NGRIDS
+
+
+async def rejoin(ctx, world, gid, target):
+    """Post-repair resynchronisation.  # app: _post_failure_resync +
+    _cr_failure_branch (every rank contributes what it knows — a
+    re-spawned root must not be the single source of truth)."""
+    known = await world.allgather(known_failed_ranks(ctx))
+    lost = grids_of(known, GRID_RANKS)
+    grid = await world.split(gid, world.rank)
+    horizon = await world.allreduce(target, op=MAX)
+    if gid in lost:
+        epoch = ckpt_restore(gid)
+        try:
+            await grid.halo()  # recompute the segment from the checkpoint
+        except MPIError:
+            grid.revoke()
+    try:
+        await world.barrier()
+    except MPIError:
+        pass
+    return (grid, horizon, lost)
+
+
+async def cr_segment(ctx, world, grid, gid, seg):
+    """One guarded solve segment.  # app: _step_guarded + _cr_segments"""
+    try:
+        await grid.halo()
+    except MPIError:
+        grid.revoke()
+    world2 = await communicator_reconstruct(ctx, world, entry=cr_child)
+    if world2 is not world:
+        world = world2
+        state = await rejoin(ctx, world, gid, seg)
+        grid = state[0]
+    else:
+        if seg < SEGMENTS:
+            ckpt_write(gid, seg)  # app: write_checkpoint at the boundary
+    return (world, grid)
+
+
+async def finale(ctx, world, grid, gid):
+    """Recovery + combination phases.  # app: _recovery_phase +
+    _combination_phase (CR recovers from disk, so no extra traffic)."""
+    await world.barrier()
+    await world.barrier()
+    await world.barrier()
+    nodal = await world.gather(gid, root=0)
+    await world.barrier()
+    stats = await world.gather(0, root=0)
+
+
+# repro: protocol ranks=4 failures=1 child=cr_child
+async def cr_parent(ctx, world):
+    """Checkpoint/restart mode, original-process entry point."""
+    gid = world.rank // GRID_RANKS
+    grid = await world.split(gid, world.rank)
+    for seg in range(1, SEGMENTS + 1):
+        pair = await cr_segment(ctx, world, grid, gid, seg)
+        world = pair[0]
+        grid = pair[1]
+    await finale(ctx, world, grid, gid)
+
+
+async def cr_child(ctx):
+    """Checkpoint/restart mode, re-spawned-process entry point.
+    # app: SolverApp.run() with ctx.is_respawned"""
+    world = await communicator_reconstruct(ctx, None, entry=cr_child)
+    if world is None:
+        return None  # orphan of an abandoned repair round
+    gid = world.rank // GRID_RANKS
+    state = await rejoin(ctx, world, gid, 0)
+    grid = state[0]
+    horizon = state[1]
+    for seg in range(1, SEGMENTS + 1):
+        if seg > horizon:
+            pair = await cr_segment(ctx, world, grid, gid, seg)
+            world = pair[0]
+            grid = pair[1]
+    await finale(ctx, world, grid, gid)
+
+
+async def sparse_step(ctx, world, grid, gid, entry):
+    """One unsegmented solve + single repair round.  # app:
+    _plain_stepping (RC and AC do not checkpoint: one guarded solve,
+    one reconstruct, then resync)."""
+    lost = ()
+    try:
+        await grid.halo()
+    except MPIError:
+        grid.revoke()
+    world2 = await communicator_reconstruct(ctx, world, entry=entry)
+    if world2 is not world:
+        world = world2
+        known = await world.allgather(known_failed_ranks(ctx))
+        lost = grids_of(known, GRID_RANKS)
+        grid = await world.split(gid, world.rank)
+    return (world, grid, lost)
+
+
+async def rc_finale(ctx, world, grid, gid, lost):
+    """Resampling/copying recovery: the paired surviving grid root
+    sends its field to each lost grid's root, which scatters it.
+    # app: _rc_recover + _combination_phase"""
+    await world.barrier()
+    for g in lost:
+        src = NGRIDS - 1 - g
+        if gid == src:
+            if grid.rank == 0:
+                await world.send(g, dest=g * GRID_RANKS,
+                                 tag=RECOVERY_TAG + g)
+        if gid == g:
+            if grid.rank == 0:
+                full = await world.recv(source=src * GRID_RANKS,
+                                        tag=RECOVERY_TAG + g)
+            await grid.bcast(0, root=0)  # app: solver.scatter_full
+    await world.barrier()
+    await world.barrier()
+    nodal = await world.gather(gid, root=0)
+    await world.barrier()
+    stats = await world.gather(0, root=0)
+
+
+# repro: protocol ranks=4 failures=1 child=rc_child
+async def rc_parent(ctx, world):
+    """Resampling/copying mode, original-process entry point."""
+    gid = world.rank // GRID_RANKS
+    grid = await world.split(gid, world.rank)
+    state = await sparse_step(ctx, world, grid, gid, rc_child)
+    await rc_finale(ctx, state[0], state[1], gid, state[2])
+
+
+async def rc_child(ctx):
+    """Resampling/copying mode, re-spawned-process entry point."""
+    world = await communicator_reconstruct(ctx, None, entry=rc_child)
+    if world is None:
+        return None
+    gid = world.rank // GRID_RANKS
+    known = await world.allgather(known_failed_ranks(ctx))
+    lost = grids_of(known, GRID_RANKS)
+    grid = await world.split(gid, world.rank)
+    await rc_finale(ctx, world, grid, gid, lost)
+
+
+async def ac_finale(ctx, world, grid, gid, lost):
+    """Alternate-combination recovery: root recombines without the lost
+    grids, then re-seeds each lost grid root from the combined field.
+    # app: AlternateCombination.recover + scatter_samples"""
+    await world.barrier()
+    await world.barrier()
+    await world.barrier()
+    nodal = await world.gather(gid, root=0)
+    for g in lost:
+        if world.rank == 0:
+            await world.send(0, dest=g * GRID_RANKS, tag=RECOVERY_TAG + g)
+        if world.rank == g * GRID_RANKS:
+            sample = await world.recv(source=0, tag=RECOVERY_TAG + g)
+        if gid == g:
+            await grid.bcast(0, root=0)  # app: solver.scatter_full
+    await world.barrier()
+    stats = await world.gather(0, root=0)
+
+
+# repro: protocol ranks=4 failures=1 child=ac_child
+async def ac_parent(ctx, world):
+    """Alternate-combination mode, original-process entry point."""
+    gid = world.rank // GRID_RANKS
+    grid = await world.split(gid, world.rank)
+    state = await sparse_step(ctx, world, grid, gid, ac_child)
+    await ac_finale(ctx, state[0], state[1], gid, state[2])
+
+
+async def ac_child(ctx):
+    """Alternate-combination mode, re-spawned-process entry point."""
+    world = await communicator_reconstruct(ctx, None, entry=ac_child)
+    if world is None:
+        return None
+    gid = world.rank // GRID_RANKS
+    known = await world.allgather(known_failed_ranks(ctx))
+    lost = grids_of(known, GRID_RANKS)
+    grid = await world.split(gid, world.rank)
+    await ac_finale(ctx, world, grid, gid, lost)
+
+
+#: recovery mode -> annotated parent entry point name
+MODES = {
+    "CR": "cr_parent",
+    "RC": "rc_parent",
+    "AC": "ac_parent",
+}

@@ -1,0 +1,53 @@
+"""Protocol-model vocabulary: names the skeleton extractor understands.
+
+Reference programs (:mod:`.modes`) and fixtures call these so their
+bodies are valid, importable Python, but the functions are **markers**:
+the extractor recognises them by name and lowers each to its protocol-IR
+meaning (see ``extract.Extractor._intrinsic_expr``).  The runtime
+implementations exist only so accidental execution fails loudly instead
+of silently computing nothing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ckpt_write", "ckpt_restore", "known_failed_ranks", "grids_of"]
+
+
+def _marker(name: str):
+    raise RuntimeError(
+        f"{name} is a protocol-model marker: reference programs are "
+        f"extracted by repro.analysis.model, never executed")
+
+
+def ckpt_write(group, epoch):
+    """Record a checkpoint for grid ``group`` at epoch ``epoch``.
+
+    Models ``ft.checkpoint.write_checkpoint``: one entry per (grid,
+    rank-slot) in the shared checkpoint store.
+    """
+    _marker("ckpt_write")
+
+
+def ckpt_restore(group):
+    """Read grid ``group``'s checkpoint epoch for the calling slot.
+
+    Models ``ft.checkpoint.restore_checkpoint``; the checker compares
+    the epochs observed by restores of the same repair round (ULF018).
+    """
+    _marker("ckpt_restore")
+
+
+def known_failed_ranks(ctx):
+    """The failed world ranks this process knows of.
+
+    Survivors know the full failure history; a re-spawned process knows
+    only its own slot — which is exactly the asymmetry that makes
+    single-source resync protocols wrong (see ``rejoin``).
+    """
+    _marker("known_failed_ranks")
+
+
+def grids_of(known, grid_ranks):
+    """Sorted grid ids owning any of the ranks in ``known`` (a
+    per-rank tuple-of-tuples as returned by ``allgather``)."""
+    _marker("grids_of")

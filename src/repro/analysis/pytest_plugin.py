@@ -14,6 +14,18 @@ and, after the test body finishes, runs:
 The audit is intentionally scoped to ``tests/mpi``: higher-layer tests
 drive whole applications where post-run communicator state is part of the
 scenario under test.
+
+Tests under ``tests/ft/`` get a second, cheaper guard: before the first
+such test runs, the protocol-model verifier
+(:func:`repro.analysis.model.verify_modes`) model-checks the CR/RC/AC
+recovery skeletons at the default rank bound with single-failure
+injection.  If any mode has a reachable deadlock or a ULF016-ULF020
+protocol violation, every ft test fails immediately with the
+counterexample summary — an edit that breaks the recovery protocol is
+reported at the protocol level, not as a confusing hang or wrong-answer
+assertion three layers up.  The check runs once per session (it is pure
+in the source) and is smoke-level by design: ``repro verify-protocol``
+prints the full per-rank timelines.
 """
 
 from __future__ import annotations
@@ -21,6 +33,31 @@ from __future__ import annotations
 import pytest
 
 _AUDIT_PATH = "tests/mpi/"
+_FT_PATH = "tests/ft/"
+
+#: session cache for the one-shot protocol conformance check:
+#: None = not yet run, [] = clean, else the failure messages.
+_protocol_problems = None
+
+
+def _ft_protocol_problems():
+    global _protocol_problems
+    if _protocol_problems is None:
+        from repro.analysis.model import (ExtractError, ModelError,
+                                          verify_modes)
+        problems = []
+        try:
+            for rep in verify_modes():
+                if not rep.ok:
+                    lines = [f"[{rep.mode}] {v.rule}: {v.message}"
+                             for v in rep.result.violations]
+                    problems.append(
+                        f"{rep.mode} recovery protocol broken "
+                        f"({rep.source.name}):\n    " + "\n    ".join(lines))
+        except (ExtractError, ModelError) as exc:
+            problems.append(f"protocol model extraction failed: {exc}")
+        _protocol_problems = problems
+    return _protocol_problems
 
 
 def pytest_configure(config):
@@ -28,6 +65,25 @@ def pytest_configure(config):
         "markers",
         "allow_races: suppress the automatic message-race audit for tests "
         "that create races on purpose")
+    config.addinivalue_line(
+        "markers",
+        "allow_protocol_break: suppress the ft-layer recovery-protocol "
+        "conformance gate for tests that break the protocol on purpose")
+
+
+@pytest.fixture(autouse=True)
+def ft_protocol_conformance(request):
+    """Fail ft-layer tests up front when the shipped recovery protocol
+    no longer model-checks clean (deadlock or ULF016-ULF020)."""
+    nodeid = request.node.nodeid.replace("\\", "/")
+    if _FT_PATH in nodeid and \
+            request.node.get_closest_marker("allow_protocol_break") is None:
+        problems = _ft_protocol_problems()
+        if problems:
+            pytest.fail("recovery-protocol conformance failed (run "
+                        "'repro verify-protocol' for timelines):\n  "
+                        + "\n  ".join(problems), pytrace=False)
+    yield
 
 
 @pytest.fixture(autouse=True)

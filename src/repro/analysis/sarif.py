@@ -11,7 +11,11 @@ document shape used here is the minimal conforming subset:
 * one ``result`` per violation with ``ruleId``, ``level``
   (``error``/``warning``, mapped from the linter's severity),
   ``message.text``, and a ``physicalLocation`` with an artifact URI and
-  a 1-based start line/column.
+  a 1-based start line/column;
+* ``# noqa``-suppressed findings (when the linter is run with
+  ``keep_suppressed=True``) are emitted as results carrying a
+  ``suppressions: [{"kind": "inSource"}]`` object rather than dropped,
+  so CI dashboards show the suppression audit trail.
 
 :func:`validate_sarif` asserts that shape structurally — it is what the
 schema tests and the CI gate call; keeping the validator next to the
@@ -45,17 +49,22 @@ def _rule_entries() -> List[dict]:
 def to_sarif(violations: Iterable[LintViolation],
              n_files: Optional[int] = None) -> dict:
     """Render violations as a SARIF 2.1.0 document (a plain dict)."""
-    results = [{
-        "ruleId": v.rule,
-        "level": v.severity,
-        "message": {"text": v.message},
-        "locations": [{
-            "physicalLocation": {
-                "artifactLocation": {"uri": str(v.path)},
-                "region": {"startLine": v.line, "startColumn": v.col},
-            },
-        }],
-    } for v in violations]
+    results = []
+    for v in violations:
+        res = {
+            "ruleId": v.rule,
+            "level": v.severity,
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": str(v.path)},
+                    "region": {"startLine": v.line, "startColumn": v.col},
+                },
+            }],
+        }
+        if v.suppressed:
+            res["suppressions"] = [{"kind": "inSource"}]
+        results.append(res)
     run = {
         "tool": {
             "driver": {
@@ -115,6 +124,17 @@ def validate_sarif(doc: dict) -> None:
                  f"{res.get('level')!r}")
             need(isinstance(res.get("message", {}).get("text"), str),
                  f"result {res.get('ruleId')}: message.text missing")
+            if "suppressions" in res:
+                sups = res["suppressions"]
+                need(isinstance(sups, list) and sups,
+                     f"result {res.get('ruleId')}: suppressions must be "
+                     "a non-empty list when present")
+                for sup in sups:
+                    need(isinstance(sup, dict) and
+                         sup.get("kind") in ("inSource", "external"),
+                         f"result {res.get('ruleId')}: suppression kind "
+                         f"must be inSource/external, got "
+                         f"{sup.get('kind')!r}")
             for loc in res.get("locations", []):
                 phys = loc.get("physicalLocation", {})
                 art = phys.get("artifactLocation", {})

@@ -7,6 +7,7 @@
                                      [--cache DIR]
     python -m repro describe --technique RC --n 8
     python -m repro lint [paths ...] [--format json] [--select ULF006]
+    python -m repro verify-protocol [--modes CR,RC] [--ranks 4]
     python -m repro analyze-trace trace.jsonl
     python -m repro timeline trace.jsonl -o timeline.json
 
@@ -14,14 +15,17 @@
 prints the metrics; ``experiment`` regenerates one paper table/figure
 (``--json`` writes the machine-readable document with per-phase timing
 breakdowns); ``describe`` prints the combination scheme and process
-layout; ``lint`` runs the ULF001-ULF015 static + dataflow checks;
-``analyze-trace`` replays a recorded event trace through the protocol and
-race analyzers; ``timeline`` converts a trace to the Chrome trace_event
-format (load in Perfetto / chrome://tracing).  Record traces with
-``run --trace FILE``.
+layout; ``lint`` runs the ULF001-ULF020 static + dataflow + protocol
+model checks; ``verify-protocol`` extracts the CR/RC/AC recovery
+skeletons and model-checks them over every failure placement, printing
+per-rank counterexample timelines on failure; ``analyze-trace`` replays
+a recorded event trace through the protocol and race analyzers;
+``timeline`` converts a trace to the Chrome trace_event format (load in
+Perfetto / chrome://tracing).  Record traces with ``run --trace FILE``.
 
-``lint`` exit codes are a stable contract for CI: 0 = clean, 1 =
-violations found, 2 = usage error (missing path, unknown rule code).
+``lint``, ``verify-protocol`` and ``analyze-trace`` exit codes are a
+stable contract for CI: 0 = clean, 1 = violations/findings, 2 = usage
+error (missing path, unknown rule code or mode, unreadable trace).
 """
 
 from __future__ import annotations
@@ -277,7 +281,10 @@ def cmd_lint(args) -> int:
         for p in missing:
             print(f"error: no such file or directory: {p}", file=sys.stderr)
         return 2
-    violations = lint_paths(paths)
+    # SARIF keeps noqa-suppressed findings (emitted with a `suppressions`
+    # object — the audit trail); text/json and the exit code see only the
+    # active ones.
+    violations = lint_paths(paths, keep_suppressed=(args.format == "sarif"))
     # ULF000 (syntax error) always surfaces: a file the linter cannot
     # parse was not checked against whatever the user selected
     if selected is not None:
@@ -285,6 +292,7 @@ def cmd_lint(args) -> int:
                       if v.rule in selected or v.rule == "ULF000"]
     if ignored is not None:
         violations = [v for v in violations if v.rule not in ignored]
+    active = [v for v in violations if not v.suppressed]
     from .analysis.linter import _iter_py_files
     n_files = len(_iter_py_files(paths))
     if args.format == "json":
@@ -304,10 +312,11 @@ def cmd_lint(args) -> int:
         print(json.dumps(doc, indent=2))
     else:
         print(format_report(violations, n_files=n_files))
-    return 1 if violations else 0
+    return 1 if active else 0
 
 
 def cmd_analyze_trace(args) -> int:
+    # exit codes follow the lint contract: 0 clean, 1 findings, 2 usage
     from .analysis import (TruncatedTraceError, check_protocol,
                            find_message_races, format_races,
                            format_violations, recovery_episodes)
@@ -315,9 +324,12 @@ def cmd_analyze_trace(args) -> int:
     try:
         trace = Tracer.load(args.file)
     except FileNotFoundError:
-        raise SystemExit(f"error: no such trace file: {args.file}")
+        print(f"error: no such trace file: {args.file}", file=sys.stderr)
+        return 2
     except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"error: {args.file} is not a trace file: {exc}")
+        print(f"error: {args.file} is not a trace file: {exc}",
+              file=sys.stderr)
+        return 2
     print(f"{args.file}: {len(trace.events)} event(s)"
           + (f", {trace.dropped} dropped" if trace.dropped else ""))
     try:
@@ -328,7 +340,8 @@ def cmd_analyze_trace(args) -> int:
         races = find_message_races(trace,
                                    allow_truncated=args.allow_truncated)
     except TruncatedTraceError as exc:
-        raise SystemExit(f"error: {exc} (or pass --allow-truncated)")
+        print(f"error: {exc} (or pass --allow-truncated)", file=sys.stderr)
+        return 2
     if episodes:
         print(f"recovery episodes ({len(episodes)}):")
         for ep in episodes:
@@ -336,6 +349,68 @@ def cmd_analyze_trace(args) -> int:
     print(format_violations(violations))
     print(format_races(races))
     return 1 if (violations or races) else 0
+
+
+def cmd_verify_protocol(args) -> int:
+    # exit codes follow the lint contract: 0 clean, 1 findings, 2 usage
+    from .analysis.linter import LintViolation
+    from .analysis.model import ExtractError, ModelError, verify_modes
+
+    modes = None
+    if args.modes:
+        modes = [m.strip() for item in args.modes
+                 for m in item.split(",") if m.strip()]
+    try:
+        reports = verify_modes(modes, ranks=args.ranks,
+                               failures=args.failures)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ExtractError, ModelError) as exc:
+        print(f"error: protocol verification could not complete: {exc}",
+              file=sys.stderr)
+        return 2
+
+    violations = [
+        LintViolation(v.rule, rep.source.path, v.lineno or rep.source.lineno,
+                      1, f"[{rep.mode}] {v.message}")
+        for rep in reports for v in rep.result.violations]
+    if args.format == "json":
+        print(json.dumps({
+            "modes": [{
+                "mode": rep.mode,
+                "model": rep.source.name,
+                "ranks": rep.source.model.ranks,
+                "failures": rep.source.model.failures,
+                "states": rep.result.states,
+                "ok": rep.ok,
+                "violations": [{
+                    "rule": v.rule, "line": v.lineno,
+                    "message": v.message, "timeline": v.timeline,
+                } for v in rep.result.violations],
+            } for rep in reports],
+            "ok": not violations,
+        }, indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import to_sarif, validate_sarif
+        doc = to_sarif(violations, n_files=len(reports))
+        validate_sarif(doc)  # the emitter must never ship a bad document
+        print(json.dumps(doc, indent=2))
+    else:
+        for rep in reports:
+            print(f"{rep.mode}: {rep.result.summary()}")
+            for v in rep.result.violations:
+                print(f"  {v.rule} {rep.source.path}:{v.lineno}: "
+                      f"{v.message}")
+                if v.timeline:
+                    print(v.timeline)
+        clean = sum(rep.ok for rep in reports)
+        if violations:
+            print(f"verify-protocol: {len(violations)} violation(s) in "
+                  f"{len(reports) - clean} of {len(reports)} mode(s)")
+        else:
+            print(f"verify-protocol: {clean} mode(s) deadlock-free")
+    return 1 if violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -409,6 +484,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable, comma-separable, ranges "
                              "like ULF011-ULF015)")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_vp = sub.add_parser(
+        "verify-protocol",
+        help="model-check the recovery protocol over all failure "
+             "placements")
+    p_vp.add_argument("--modes", action="append", metavar="MODE",
+                      help="recovery modes to verify (CR, RC, AC; "
+                           "repeatable or comma-separated; default all)")
+    p_vp.add_argument("--ranks", type=int, default=None,
+                      help="override the annotated rank count")
+    p_vp.add_argument("--failures", type=int, default=None,
+                      help="override the annotated failure budget")
+    p_vp.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (sarif emits SARIF 2.1.0)")
+    p_vp.set_defaults(fn=cmd_verify_protocol)
 
     p_an = sub.add_parser("analyze-trace",
                           help="protocol + race analysis of a recorded "

@@ -33,6 +33,7 @@ from ..ft.reconstruct import (PLACE_SAME_HOST, ReconstructTimers,
                               communicator_reconstruct)
 from ..ft.recovery import (AlternateCombination, RecoveryTechnique,
                            technique_by_code)
+from ..mpi.comm import MAX
 from ..mpi.errors import MPIError
 from ..pde.advection import AdvectionProblem
 from ..pde.lax_wendroff import periodic_from_nodal
@@ -226,14 +227,24 @@ class CombinationApp:
 
     async def _post_failure_resync(self, make_solver: bool) -> None:
         """Shared resync after a reconstruction: learn the loss set, rebuild
-        grid communicators (and, for new processes, the solver shell)."""
+        grid communicators (and, for new processes, the solver shell).
+
+        The loss set is the union of every rank's locally-observed failed
+        ranks, never a single rank's view: a re-spawned replacement —
+        including a replacement rank 0 — joins with an empty failure
+        record, so a rank-0 broadcast would announce an empty loss set and
+        no grid would ever restore."""
         world = self.world
-        if world.rank == 0:
-            lost_gids = self.layout.grids_of_ranks(self.timers.failed_ranks)
-            payload = (lost_gids, None)
-        else:
-            payload = None
-        lost_gids, _ = await world.bcast(payload, root=0)
+        views = await world.allgather(tuple(self.timers.failed_ranks))
+        union = sorted({r for view in views for r in view})
+        # fold the agreed set back into the local record so replacements
+        # report the same failure history as survivors
+        for r in union:
+            if r not in self.timers.failed_ranks:
+                self.timers.failed_ranks.append(r)
+        self.timers.failed_ranks.sort()
+        self.timers.total_failed = len(self.timers.failed_ranks)
+        lost_gids = self.layout.grids_of_ranks(union)
         for g in lost_gids:
             if g not in self.lost:
                 self.lost.append(g)
@@ -332,12 +343,12 @@ class CombinationApp:
         """
         ctx = self.ctx
         await self._post_failure_resync(make_solver=first_join)
-        # every rank must agree on the recompute horizon
-        if self.world.rank == 0:
-            horizon = target if target is not None else 0
-        else:
-            horizon = None
-        horizon = await self.world.bcast(horizon, root=0)
+        # Every rank must agree on the recompute horizon.  MAX-allreduce,
+        # not a rank-0 broadcast: a replacement for a dead rank 0 joins
+        # with ``target=None`` and would broadcast horizon 0, silently
+        # cancelling the recompute on every survivor.
+        horizon = await self.world.allreduce(
+            target if target is not None else 0, op=MAX)
         if self.gid in self.lost:
             await restore_checkpoint(
                 ctx, self._disk(), self.gid, self.grid_comm,

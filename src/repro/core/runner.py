@@ -51,6 +51,13 @@ def run_app(cfg: AppConfig, machine: MachineSpec = OPL, *,
     universe.run()
     metrics = job.results()[0]
     if metrics is None:
+        # Rank 0 itself was killed: its re-spawned replacement took over
+        # world rank 0 (Fig. 7 rank restoration) and returned the metrics
+        # from a later spawn job.
+        candidates = [r for j in universe.jobs for r in j.results()
+                      if isinstance(r, RunMetrics)]
+        metrics = candidates[-1] if candidates else None
+    if metrics is None:
         raise RuntimeError("rank 0 produced no metrics (killed?)")
     # attach the recovery-phase observability: critical-path seconds per
     # phase (max over ranks — phases run concurrently) and per grid

@@ -97,3 +97,90 @@ def unordered_total(xs):
 def run_in_pool(points):
     with Pool() as pool:
         return pool.map(lambda p: p * 2, points)  # ULF015: lambda payload
+
+
+# --- protocol-model rules (annotated functions are model-checked) ---------
+
+async def _probe_root(comm):
+    await comm.barrier()
+
+
+async def _probe_other(comm):
+    await comm.bcast(0, root=0)
+
+
+def _declare_failure(comm):
+    comm.revoke()
+
+
+# repro: protocol ranks=3 failures=1
+async def model_divergent_probe(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    if alive.rank == 0:
+        await _probe_root(alive)       # ULF016: barrier on rank 0 ...
+    else:
+        await _probe_other(alive)      # ... bcast on the others
+
+
+# repro: protocol ranks=3 failures=1
+async def model_stranded_wait(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    if failed_count(world) > 0:
+        if alive.rank == 0:
+            await alive.recv(source=1, tag=7)  # ULF017: rank 1 may be dead
+    await alive.barrier()
+
+
+# repro: protocol ranks=3 failures=1
+async def model_skewed_epochs(ctx, world):
+    ckpt_write(0, 1)
+    if world.rank == 0:
+        ckpt_write(0, 2)
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    if failed_count(world) > 0:
+        ckpt_restore(0)                # ULF018: epoch depends on the rank
+    await alive.barrier()
+
+
+# repro: protocol ranks=3 failures=1 child=_model_eager_child
+async def model_impatient_parent(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    missing = failed_count(world)
+    if missing > 0:
+        inter = await alive.spawn_multiple(missing, _model_eager_child, ())
+        merged = await inter.merge(high=True)  # ULF019: both sides high
+        await merged.barrier()
+        return
+    await alive.barrier()
+
+
+async def _model_eager_child(ctx):
+    parent = ctx.get_parent()
+    merged = await parent.merge(high=True)     # ULF019: both sides high
+    await merged.barrier()
+
+
+# repro: protocol ranks=2 failures=1
+async def model_eager_rebroadcast(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        _declare_failure(world)
+    await world.bcast(0, root=0)       # ULF020: collective after revoke
+    await world.barrier()

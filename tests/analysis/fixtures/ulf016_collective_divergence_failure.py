@@ -1,0 +1,49 @@
+"""ULF016: cross-rank collective-sequence divergence under failure.
+
+After the repair, the root probes with a ``barrier`` while everyone
+else answers a ``bcast`` — same communicator, same rendezvous slot,
+different collectives.  The divergence hides inside helpers, so the
+static rank-taint rule (ULF006) cannot see it; the model checker
+inlines both helpers and catches the mismatched arrival.
+"""
+
+
+async def probe_root(alive):
+    await alive.barrier()
+
+
+async def probe_other(alive):
+    sync = await alive.bcast(0, root=0)
+    return sync
+
+
+# repro: protocol ranks=3 failures=1
+async def divergent_probe(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    ok = await alive.agree(1)
+    if alive.rank == 0:
+        await probe_root(alive)  # BAD
+    else:
+        await probe_other(alive)  # BAD
+    await alive.barrier()
+    return ok
+
+
+# repro: protocol ranks=3 failures=1
+async def uniform_probe(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    ok = await alive.agree(1)
+    if alive.rank == 0:
+        await probe_other(alive)
+    else:
+        await probe_other(alive)
+    await alive.barrier()
+    return ok

@@ -1,0 +1,40 @@
+"""ULF018: checkpoint-epoch inconsistency across restore paths.
+
+Rank 0 advances its checkpoint epoch alone (an unguarded fast path);
+after a failure every survivor restores grid 0 — and observes a
+different epoch depending on which rank it is.  The restored state is
+a mix of two checkpoint generations.
+"""
+
+
+# repro: protocol ranks=3 failures=1
+async def skewed_checkpoint(ctx, world):
+    ckpt_write(0, 1)
+    if world.rank == 0:
+        ckpt_write(0, 2)
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    if failed_count(world) > 0:
+        epoch = ckpt_restore(0)  # BAD
+        del epoch
+    await alive.barrier()
+
+
+# repro: protocol ranks=3 failures=1
+async def sealed_checkpoint(ctx, world):
+    ckpt_write(0, 1)
+    seal = await world.allreduce(1)
+    ckpt_write(0, 2)
+    del seal
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    if failed_count(world) > 0:
+        epoch = ckpt_restore(0)
+        del epoch
+    await alive.barrier()

@@ -1,0 +1,60 @@
+"""ULF019: spawn/merge handshake mismatch.
+
+The paper's repair merges survivors with ``high=False`` and re-spawned
+children with ``high=True`` so the merged ordering restores the
+original ranks.  ``impatient_parent`` merges ``high=True`` on both
+sides: the intercomm-merge ordering contract breaks and the handshake
+is flagged on both ends.
+"""
+
+
+# repro: protocol ranks=3 failures=1 child=eager_child
+async def impatient_parent(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    missing = failed_count(world)
+    if missing > 0:
+        inter = await alive.spawn_multiple(missing, eager_child, ())
+        merged = await inter.merge(high=True)  # BAD
+        ready = await merged.agree(1)
+        await merged.barrier()
+        return ready
+    await alive.barrier()
+    return 1
+
+
+async def eager_child(ctx):
+    parent = ctx.get_parent()
+    merged = await parent.merge(high=True)  # BAD
+    ready = await merged.agree(1)
+    await merged.barrier()
+    return ready
+
+
+# repro: protocol ranks=3 failures=1 child=patient_child
+async def ordered_parent(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        world.revoke()
+    alive = await world.shrink()
+    missing = failed_count(world)
+    if missing > 0:
+        inter = await alive.spawn_multiple(missing, patient_child, ())
+        merged = await inter.merge(high=False)
+        ready = await merged.agree(1)
+        await merged.barrier()
+        return ready
+    await alive.barrier()
+    return 1
+
+
+async def patient_child(ctx):
+    parent = ctx.get_parent()
+    merged = await parent.merge(high=True)
+    ready = await merged.agree(1)
+    await merged.barrier()
+    return ready

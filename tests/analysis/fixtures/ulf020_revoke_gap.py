@@ -1,0 +1,36 @@
+"""ULF020: revoke-propagation gap.
+
+The handler revokes the broken communicator (hidden behind a helper,
+so the static typestate rule cannot track it) but the code then issues
+an ordinary collective on that same communicator: any rank reaching the
+``bcast`` after the revoke propagates gets ``RevokedError`` outside
+every handler.  The fix shrinks first and talks on the repaired
+communicator.
+"""
+
+
+def declare_failure(comm):
+    comm.revoke()
+
+
+# repro: protocol ranks=2 failures=1
+async def eager_rebroadcast(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        declare_failure(world)
+    status = await world.bcast(0, root=0)  # BAD
+    await world.barrier()
+    return status
+
+
+# repro: protocol ranks=2 failures=1
+async def guarded_rebroadcast(ctx, world):
+    try:
+        await world.halo()
+    except MPIError:
+        declare_failure(world)
+    alive = await world.shrink()
+    status = await alive.bcast(0, root=0)
+    await alive.barrier()
+    return status

@@ -26,6 +26,13 @@ RULE_FIXTURES = {
     "ULF013": FIXTURES / "ulf013_escape.py",
     "ULF014": FIXTURES / "ulf014_nondeterminism.py",
     "ULF015": FIXTURES / "ulf015_pool_pickling.py",
+    # protocol-model rules: the fixtures carry `# repro: protocol`
+    # annotations, so lint_file runs extraction + model checking on them
+    "ULF016": FIXTURES / "ulf016_collective_divergence_failure.py",
+    "ULF017": FIXTURES / "ulf017_incomplete_repair.py",
+    "ULF018": FIXTURES / "ulf018_epoch_inconsistency.py",
+    "ULF019": FIXTURES / "ulf019_spawn_merge_mismatch.py",
+    "ULF020": FIXTURES / "ulf020_revoke_gap.py",
 }
 
 

@@ -1,0 +1,73 @@
+"""Protocol-model rule integration (repro.analysis.model.rules).
+
+Covers the lint hook (annotated functions model-checked inside
+``lint_file``), the shipped-mode verifier (CR/RC/AC deadlock-free with
+the real ft.reconstruct inlined), and error reporting.
+"""
+
+import pytest
+
+from repro.analysis import lint_file
+from repro.analysis.linter import RULES, SEVERITY
+from repro.analysis.model import MODEL_RULES, verify_modes
+
+
+def test_model_rules_are_catalogued_as_errors():
+    for rule in ("ULF016", "ULF017", "ULF018", "ULF019", "ULF020"):
+        assert rule in MODEL_RULES
+        assert rule in RULES
+        assert SEVERITY[rule] == "error"
+
+
+def test_shipped_modes_are_deadlock_free():
+    reports = verify_modes()
+    assert {r.mode for r in reports} == {"CR", "RC", "AC"}
+    for rep in reports:
+        assert rep.ok, (rep.mode, [v.message for v in rep.result.violations])
+        assert rep.result.states > 0
+        assert rep.result.kills_explored >= 1  # single-failure injection ran
+
+
+def test_mode_subset_and_case_insensitive():
+    (rep,) = verify_modes(["cr"])
+    assert rep.mode == "CR"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        verify_modes(["XX"])
+
+
+def test_lint_message_names_model_and_cli():
+    src = '''
+# repro: protocol ranks=2 failures=1
+async def lonely(ctx, world):
+    await world.halo()
+    await world.barrier()
+'''
+    violations = lint_file("m.py", source=src)
+    assert violations, "unguarded halo under failure must be flagged"
+    v = violations[0]
+    assert v.rule in MODEL_RULES
+    assert "lonely" in v.message
+    assert "verify-protocol" in v.message  # points at the timeline CLI
+
+
+def test_unannotated_functions_not_model_checked():
+    src = '''
+async def lonely(ctx, world):
+    await world.halo()
+    await world.barrier()
+'''
+    assert [v for v in lint_file("m.py", source=src)
+            if v.rule in MODEL_RULES] == []
+
+
+def test_broken_annotation_degrades_to_ulf000():
+    src = '''
+# repro: protocol ranks=2 failures=1 child=missing_child
+async def parent(ctx, world):
+    await world.barrier()
+'''
+    violations = lint_file("m.py", source=src)
+    assert [v.rule for v in violations] == ["ULF000"]

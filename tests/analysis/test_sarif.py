@@ -90,3 +90,54 @@ def test_cli_sarif_output_clean(capsys, tmp_path):
 def test_severity_catalogued_for_all_rules():
     for rule in RULES:
         assert SEVERITY[rule] in ("error", "warning")
+
+
+# ---------------------------------------------------------------------------
+# suppression fidelity: # noqa findings survive into SARIF as suppressions
+# ---------------------------------------------------------------------------
+NOQA_SRC = ("import time\n"
+            "t = time.time()  # noqa: ULF002 replay-safe demo path\n"
+            "u = time.time()\n")
+
+
+def test_keep_suppressed_marks_instead_of_dropping():
+    vs = lint_file("demo.py", source=NOQA_SRC, keep_suppressed=True)
+    assert [(v.line, v.suppressed) for v in vs] == [(2, True), (3, False)]
+    # default behaviour unchanged: suppressed findings are dropped
+    assert [v.line for v in lint_file("demo.py", source=NOQA_SRC)] == [3]
+
+
+def test_sarif_emits_suppression_objects():
+    vs = lint_file("demo.py", source=NOQA_SRC, keep_suppressed=True)
+    doc = to_sarif(vs, n_files=1)
+    validate_sarif(doc)
+    res = doc["runs"][0]["results"]
+    assert res[0]["suppressions"] == [{"kind": "inSource"}]
+    assert "suppressions" not in res[1]
+
+
+def test_validator_rejects_bad_suppression_kind():
+    vs = lint_file("demo.py", source=NOQA_SRC, keep_suppressed=True)
+    doc = to_sarif(vs)
+    doc["runs"][0]["results"][0]["suppressions"] = [{"kind": "whim"}]
+    with pytest.raises(ValueError, match="suppression"):
+        validate_sarif(doc)
+
+
+def test_suppressed_dict_flag():
+    vs = lint_file("demo.py", source=NOQA_SRC, keep_suppressed=True)
+    assert vs[0].to_dict()["suppressed"] is True
+    assert "suppressed" not in vs[1].to_dict()
+
+
+def test_cli_sarif_keeps_suppressed_but_exit_is_active_only(tmp_path, capsys):
+    f = tmp_path / "only_suppressed.py"
+    f.write_text("import time\nt = time.time()  # noqa: ULF002\n")
+    # every finding suppressed: SARIF still carries it, exit code is clean
+    assert cli_main(["lint", "--format", "sarif", str(f)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (res,) = doc["runs"][0]["results"]
+    assert res["suppressions"] == [{"kind": "inSource"}]
+    # text format never shows suppressed findings
+    assert cli_main(["lint", str(f)]) == 0
+    assert "ULF002" not in capsys.readouterr().out

@@ -227,3 +227,28 @@ def test_spare_placement_through_app():
                 n_spares=2)
     assert m.n_failures == 1
     assert np.isfinite(m.error_l1)
+
+
+# ---------------------------------------------------------------------------
+# rank-0 failure (the control rank is killable too)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("code", ["CR", "RC", "AC"])
+def test_rank_zero_failure_recovers(code):
+    """Killing rank 0 must recover like any other rank: the loss set is
+    an allgather union and the CR horizon a MAX-allreduce, so the
+    re-spawned replacement — which joins with an empty failure record and
+    no segment target — cannot poison either agreement."""
+    base = run_app(cfg_for(code), OPL)
+    m = run_app(cfg_for(code), OPL, kills=[Kill(0, base.t_solve * 0.6)])
+    assert m.real_failures
+    assert m.n_failures == 1
+    assert 0 in m.failed_ranks
+    assert len(m.lost_gids) >= 1
+    assert np.isfinite(m.error_l1)
+
+
+def test_cr_rank_zero_failure_error_equals_baseline():
+    base = run_app(cfg_for("CR"), OPL)
+    m = run_app(cfg_for("CR"), OPL, kills=[Kill(0, base.t_solve * 0.6)])
+    assert m.error_l1 == pytest.approx(base.error_l1, rel=1e-12)
+    assert m.recompute_steps > 0
