@@ -1,9 +1,9 @@
-"""Protocol-verifier performance: the full CR/RC/AC model check must
-stay cheap enough for CI and the ft-layer pytest gate.
+"""Protocol-verifier performance: the full CR/RC/AC/SHRINK/NC model
+check must stay cheap enough for CI and the ft-layer pytest gate.
 
 The checker explores the cross-rank product state space with
 partial-order reduction and per-op failure injection; this guard keeps
-``python -m repro verify-protocol`` (all three modes at the default
+``python -m repro verify-protocol`` (all five modes at the default
 rank bound, single-failure budget) under 20 seconds — the reference
 machine does it in well under a second, so the ceiling is headroom, not
 a target.
@@ -18,11 +18,11 @@ from repro.analysis.model import verify_modes
 def test_full_verify_under_20s(benchmark):
     reports = benchmark.pedantic(lambda: verify_modes(),
                                  rounds=3, iterations=1, warmup_rounds=1)
-    assert {r.mode for r in reports} == {"CR", "RC", "AC"}
+    assert {r.mode for r in reports} == {"CR", "RC", "AC", "SHRINK", "NC"}
     assert all(r.ok for r in reports)
     total_states = sum(r.result.states for r in reports)
     secs = benchmark.stats["mean"]
-    print(f"\n{total_states} product states across 3 modes "
+    print(f"\n{total_states} product states across 5 modes "
           f"in {secs * 1e3:.0f}ms")
     assert secs < 20.0
 

@@ -52,6 +52,11 @@ SYNC_CALLS = frozenset({
     "barrier", "agree", "allreduce", "allgather", "alltoall", "bcast",
     "gather", "reduce", "scan", "exscan", "communicator_reconstruct",
     "restore_checkpoint",
+    # the recovery-strategy detection point: every implementation runs
+    # agree + probe barrier (and repairs on error) before returning, so a
+    # write guarded by it satisfies the "test prior to initiating the
+    # checkpoint write" invariant
+    "detect_and_repair",
 })
 
 _WRITE = "write_checkpoint"

@@ -9,8 +9,8 @@ product state space under protocol-level failure injection, proving
 deadlock-freedom or reporting a per-rank counterexample timeline.
 Rules ULF016-ULF020 (:mod:`.rules`) surface the findings through the
 ordinary lint/SARIF pipeline; :mod:`.modes` holds the reference
-programs for the CR/RC/AC recovery configurations that
-``python -m repro verify-protocol`` certifies.
+programs for the CR/RC/AC respawn configurations and the SHRINK and NC
+repair modes that ``python -m repro verify-protocol`` certifies.
 """
 
 from .checker import (CheckResult, ModelError, ModelViolation,

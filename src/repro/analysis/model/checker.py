@@ -300,6 +300,8 @@ class _Checker:
             if proc.spawned:
                 return (proc.slot,)
             return tuple(sorted(st.dead_slots))
+        if tag == "world_comm":
+            return ("c", 0)
         if tag in ("bin", "cmp"):
             op = e[1]
             a = self._eval(e[2], proc, st)
@@ -737,6 +739,32 @@ class _Checker:
                     if not self._deliver_recv(p, c, st):
                         self._raise(p, _PROC_FAILED, p.blocked[4])
 
+    def _do_readmit(self, proc: _Proc, op: Op, st: _State) -> None:
+        """Local membership patch (non-collective repair): replace the
+        dead member at ``rank`` with the spawned process occupying the
+        same world slot.  No rendezvous — other members keep running.
+        Idempotent when the slot is already held by a live process, like
+        ``CommState.readmit`` in the simulator."""
+        c = self._comm(self._eval(op.comm, proc, st), st)
+        rank = self._eval(op.args["rank"], proc, st)
+        if rank is OPAQUE or not isinstance(rank, int):
+            raise ModelError(
+                f"readmit at line {op.lineno} with untracked rank")
+        old = st.procs[c.members[rank]]
+        if old.alive:
+            return
+        repl = next((p for p in st.procs
+                     if p.alive and p.spawned and p.slot == old.slot),
+                    None)
+        if repl is None:
+            raise ModelError(
+                f"readmit at line {op.lineno}: no live spawned "
+                f"replacement holds slot {old.slot}")
+        members = list(c.members)
+        members[rank] = repl.pid
+        st.comms[c.cid] = _Comm(c.cid, c.kind, tuple(members),
+                                c.side_a, c.side_b, c.revoked)
+
     def _do_revoke(self, proc: _Proc, op: Op, st: _State) -> None:
         c = self._comm(self._eval(op.comm, proc, st), st)
         if c.revoked:
@@ -779,6 +807,9 @@ class _Checker:
             return
         if op.kind == "recv":
             self._do_recv(proc, op, st)
+            return
+        if op.kind == "readmit":
+            self._do_readmit(proc, op, st)
             return
         # rendezvous op
         cv = self._eval(op.comm, proc, st)

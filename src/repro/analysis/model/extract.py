@@ -73,6 +73,7 @@ _OP_METHODS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "send": ("send", ("value", "dest", "tag")),
     "recv": ("recv", ("source", "tag")),
     "revoke": ("revoke", ()),
+    "readmit": ("readmit", ("rank",)),
 }
 
 #: args dropped from ops (modelled implicitly or irrelevant)
@@ -476,6 +477,8 @@ class Extractor:
             return ("failed_count", self._expr(call.args[0], frame))
         if name == "known_failed_ranks":
             return ("known_failed",)
+        if name == "world_comm":
+            return ("world_comm",)
         if name == "select_rank_key":
             a = [self._expr(x, frame) for x in call.args]
             return ("select_key", a[0], a[1], a[2], a[3])

@@ -27,8 +27,14 @@ FailStop   abstraction boundary reached (e.g. a retry loop unrolled past
 ``Op.kind`` is one of::
 
     barrier bcast reduce allreduce gather allgather scatter alltoall
-    halo split merge agree shrink spawn send recv revoke
+    halo split merge agree shrink spawn send recv revoke readmit
     ckpt_write ckpt_restore
+
+``readmit`` is the non-collective repair mode's local membership update
+(``mpi.comm.CommHandle.readmit``): it replaces a dead member of the
+communicator with the spawned process occupying the same world slot,
+without any rendezvous — which is the whole point of that mode, and why
+the op is *not* in ``COLLECTIVE_KINDS``.
 
 ``halo`` abstracts a solver stepping segment (the neighbour exchanges of
 one checkpoint segment) as a grid-wide collective: it blocks on every
@@ -60,6 +66,10 @@ environment and the global model state::
     ("known_failed",)       the failed world ranks this process knows:
                             survivors know the full history, a re-spawned
                             process knows (only) its own slot
+    ("world_comm",)         the world communicator (the model of the
+                            ``world_comm(ctx)`` vocabulary marker: a
+                            re-admitted process resolving the enclosing
+                            world it was patched into)
     ("union_flat", e)       sorted deduplicated union of a tuple of
                             tuples (allgather post-processing)
     ("map_div", e, k)       sorted {v // k for v in e} (ranks -> grids)
@@ -93,7 +103,8 @@ OPAQUE = _Opaque()
 OP_KINDS = frozenset({
     "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
     "scatter", "alltoall", "halo", "split", "merge", "agree", "shrink",
-    "spawn", "send", "recv", "revoke", "ckpt_write", "ckpt_restore",
+    "spawn", "send", "recv", "revoke", "readmit", "ckpt_write",
+    "ckpt_restore",
 })
 
 #: fault-tolerant rendezvous: complete over the survivors, legal on

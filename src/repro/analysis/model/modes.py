@@ -1,10 +1,16 @@
 """Reference protocol programs for the shipped recovery configurations.
 
 Each ``@protocol_model`` function below is the *communication skeleton*
-of one recovery mode of :class:`repro.core.app.SolverApp` — CR
-(checkpoint/restart), RC (resampling/copying) and AC (alternate
-combination) — written as a per-rank async program over the same
-vocabulary the extractor understands.  The bodies are **never
+of one recovery configuration of :class:`repro.core.app.SolverApp`: the
+CR (checkpoint/restart), RC (resampling/copying) and AC (alternate
+combination) data-recovery techniques under the paper's global respawn
+repair, plus the two alternative repair modes of
+:mod:`repro.ft.strategy` — SHRINK (shrink-in-place: no spawn, the world
+contracts and survivors adopt the lost work) and NC (non-collective
+repair: only the damaged sub-grid's communicator is rebuilt and the
+replacements are re-admitted into the world by a local membership
+update) — written as per-rank async programs over the same vocabulary
+the extractor understands.  The bodies are **never
 executed**: ``python -m repro verify-protocol`` extracts them to
 protocol IR, inlines the *real* ``ft.reconstruct`` pipeline
 (``communicator_reconstruct`` / ``repair_comm``), and model-checks the
@@ -24,10 +30,12 @@ protocol: a step here corresponds one-to-one with a phase of
 
 from __future__ import annotations
 
-from ...ft.reconstruct import communicator_reconstruct
+from ...ft.detection import failed_procs_list
+from ...ft.reconstruct import communicator_reconstruct, repair_comm
 from ...mpi.comm import MAX
 from ...mpi.errors import MPIError
-from .vocab import ckpt_restore, ckpt_write, grids_of, known_failed_ranks
+from .vocab import (ckpt_restore, ckpt_write, grids_of,
+                    known_failed_ranks, world_comm)
 
 __all__ = ["MODES", "DEFAULT_RANKS", "GRID_RANKS", "NGRIDS", "SEGMENTS"]
 
@@ -42,7 +50,10 @@ DEFAULT_RANKS = GRID_RANKS * NGRIDS
 async def rejoin(ctx, world, gid, target):
     """Post-repair resynchronisation.  # app: _post_failure_resync +
     _cr_failure_branch (every rank contributes what it knows — a
-    re-spawned root must not be the single source of truth)."""
+    re-spawned root must not be the single source of truth).  The
+    shrink mode shares this resync verbatim: after the in-place repair
+    the contracted world re-splits and restores exactly the same way
+    (# app: _shrink_resync + _shrink_failure_branch)."""
     known = await world.allgather(known_failed_ranks(ctx))
     lost = grids_of(known, GRID_RANKS)
     grid = await world.split(gid, world.rank)
@@ -220,9 +231,149 @@ async def ac_child(ctx):
     await ac_finale(ctx, world, grid, gid, lost)
 
 
+async def shrink_repair(ctx, world):
+    """World-wide detection and in-place repair: agree + probe barrier;
+    on error revoke + shrink, and *no* spawn — the contracted
+    communicator simply becomes the world.  # app:
+    _shrink_detect_repair"""
+    for _attempt in range(16):
+        ok = await world.agree(1)
+        try:
+            await world.barrier()
+            return (world, _attempt > 0)
+        except MPIError:
+            pass
+        world.revoke()
+        shrunk = await world.shrink()
+        pair = failed_procs_list(world, shrunk)
+        world = shrunk
+
+
+async def shrink_segment(ctx, world, grid, gid, seg):
+    """One guarded solve segment under in-place repair.  # app:
+    _cr_segment_loop with ShrinkInPlaceStrategy"""
+    try:
+        await grid.halo()
+    except MPIError:
+        grid.revoke()
+    state = await shrink_repair(ctx, world)
+    world = state[0]
+    if state[1]:
+        sub = await rejoin(ctx, world, gid, seg)
+        grid = sub[0]
+    else:
+        if seg < SEGMENTS:
+            ckpt_write(gid, seg)  # app: write_checkpoint at the boundary
+    return (world, grid)
+
+
+# repro: protocol ranks=4 failures=1
+async def shrink_parent(ctx, world):
+    """Shrink-in-place mode, sole entry point — nothing is ever
+    re-spawned, so the model declares no child program: survivors
+    continue on the contracted world and adopt the lost grids' work."""
+    gid = world.rank // GRID_RANKS
+    grid = await world.split(gid, world.rank)
+    for seg in range(1, SEGMENTS + 1):
+        pair = await shrink_segment(ctx, world, grid, gid, seg)
+        world = pair[0]
+        grid = pair[1]
+    await finale(ctx, world, grid, gid)
+
+
+async def nc_repair(ctx, world, grid):
+    """Per-grid detection and non-collective repair: only the damaged
+    grid's members stop; the unaffected grid never appears in this
+    exchange.  Replacements are re-admitted into the world by a purely
+    local membership update *before* the re-probe — the rebuilt grid's
+    agree + barrier double as the child's join point, so the child can
+    only proceed past them once its world slot is patched.  # app:
+    _nc_detect_repair"""
+    for _attempt in range(16):
+        ok = await grid.agree(1)
+        try:
+            await grid.barrier()
+            return (grid, _attempt > 0)
+        except MPIError:
+            pass
+        grid2 = await repair_comm(ctx, grid, entry=nc_child)
+        for r in known_failed_ranks(ctx):
+            await world.readmit(r)
+        grid = grid2
+
+
+async def nc_rejoin(ctx, world, grid, gid, target):
+    """Post-repair resynchronisation, confined to the rebuilt grid:
+    agree on the resume horizon and restore from the grid's own
+    checkpoints.  # app: _nc_cr_branch"""
+    horizon = await grid.allreduce(target, op=MAX)
+    epoch = ckpt_restore(gid)
+    try:
+        await grid.halo()  # recompute the segment from the checkpoint
+    except MPIError:
+        grid.revoke()
+    return horizon
+
+
+async def nc_segment(ctx, world, grid, gid, seg):
+    """One guarded solve segment; detection and repair stay grid-local.
+    # app: _cr_segment_loop with NonCollectiveStrategy"""
+    try:
+        await grid.halo()
+    except MPIError:
+        grid.revoke()
+    state = await nc_repair(ctx, world, grid)
+    grid = state[0]
+    if state[1]:
+        horizon = await nc_rejoin(ctx, world, grid, gid, seg)
+    else:
+        if seg < SEGMENTS:
+            ckpt_write(gid, seg)  # app: write_checkpoint at the boundary
+    return grid
+
+
+async def nc_finale(ctx, world, grid, gid):
+    """Deferred world resynchronisation — the mode's one world-wide
+    exchange, after stepping completes — then the recovery/combination
+    phases.  # app: _nc_world_resync + _recovery_phase +
+    _combination_phase"""
+    ok = await world.agree(1)
+    known = await world.allgather(known_failed_ranks(ctx))
+    lost = grids_of(known, GRID_RANKS)
+    await finale(ctx, world, grid, gid)
+
+
+# repro: protocol ranks=4 failures=1 child=nc_child
+async def nc_parent(ctx, world):
+    """Non-collective mode, original-process entry point."""
+    gid = world.rank // GRID_RANKS
+    grid = await world.split(gid, world.rank)
+    for seg in range(1, SEGMENTS + 1):
+        grid = await nc_segment(ctx, world, grid, gid, seg)
+    await nc_finale(ctx, world, grid, gid)
+
+
+async def nc_child(ctx):
+    """Non-collective mode, re-spawned-process entry point: joins only
+    its own grid's rebuild, then adopts the world whose membership the
+    survivors already patched.  # app: SolverApp._nc_child_join"""
+    grid = await communicator_reconstruct(ctx, None, entry=nc_child)
+    if grid is None:
+        return None  # orphan of an abandoned repair round
+    world = world_comm(ctx)
+    gid = world.rank // GRID_RANKS
+    horizon = await nc_rejoin(ctx, world, grid, gid, 0)
+    for seg in range(1, SEGMENTS + 1):
+        if seg > horizon:
+            grid = await nc_segment(ctx, world, grid, gid, seg)
+    await nc_finale(ctx, world, grid, gid)
+
+
 #: recovery mode -> annotated parent entry point name
 MODES = {
     "CR": "cr_parent",
     "RC": "rc_parent",
     "AC": "ac_parent",
+    "SHRINK": "shrink_parent",
+    "NC": "nc_parent",
 }

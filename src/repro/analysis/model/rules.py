@@ -149,7 +149,8 @@ def check_protocol_models(tree: ast.Module, path: str,
 def verify_modes(modes: Optional[List[str]] = None, *,
                  ranks: Optional[int] = None,
                  failures: Optional[int] = None) -> List[ModeReport]:
-    """Model-check the shipped recovery configurations (CR/RC/AC).
+    """Model-check the shipped recovery configurations
+    (CR/RC/AC/SHRINK/NC).
 
     Returns one report per requested mode, in request order.  Unknown
     mode names raise ``ValueError`` (the CLI maps that to exit 2).

@@ -10,7 +10,8 @@ of silently computing nothing.
 
 from __future__ import annotations
 
-__all__ = ["ckpt_write", "ckpt_restore", "known_failed_ranks", "grids_of"]
+__all__ = ["ckpt_write", "ckpt_restore", "known_failed_ranks", "grids_of",
+           "world_comm"]
 
 
 def _marker(name: str):
@@ -51,3 +52,16 @@ def grids_of(known, grid_ranks):
     """Sorted grid ids owning any of the ranks in ``known`` (a
     per-rank tuple-of-tuples as returned by ``allgather``)."""
     _marker("grids_of")
+
+
+def world_comm(ctx):
+    """The enclosing world communicator of the calling process.
+
+    Models a re-admitted replacement adopting the world whose membership
+    ``CommHandle.readmit`` patched it into (the app's
+    ``ctx.argv[1].handle(ctx.proc)``): the checker resolves it to the
+    initial world communicator, whose member table the ``readmit`` op
+    has already updated by the time the rebuilt grid's join barrier lets
+    the child proceed.
+    """
+    _marker("world_comm")

@@ -3,8 +3,10 @@
 ::
 
     python -m repro run --technique AC --n 8 --steps 64 --failures 2
+    python -m repro run --technique CR --recovery-mode shrink --failures 1
     python -m repro experiment fig10 --quick [--json FILE] [--workers N]
                                      [--cache DIR]
+    python -m repro experiment modes --quick --json obs/modes.json
     python -m repro describe --technique RC --n 8
     python -m repro lint [paths ...] [--format json] [--select ULF006]
     python -m repro verify-protocol [--modes CR,RC] [--ranks 4]
@@ -16,8 +18,9 @@ prints the metrics; ``experiment`` regenerates one paper table/figure
 (``--json`` writes the machine-readable document with per-phase timing
 breakdowns); ``describe`` prints the combination scheme and process
 layout; ``lint`` runs the ULF001-ULF020 static + dataflow + protocol
-model checks; ``verify-protocol`` extracts the CR/RC/AC recovery
-skeletons and model-checks them over every failure placement, printing
+model checks; ``verify-protocol`` extracts the recovery skeletons
+(CR/RC/AC data recovery plus the SHRINK and NC repair modes) and
+model-checks them over every failure placement, printing
 per-rank counterexample timelines on failure; ``analyze-trace`` replays
 a recorded event trace through the protocol and race analyzers;
 ``timeline`` converts a trace to the Chrome trace_event format (load in
@@ -58,6 +61,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--machine", default="OPL",
                    help=f"cluster preset {sorted(PRESETS)}")
     p.add_argument("--decomposition", default="1d", choices=["1d", "2d"])
+    p.add_argument("--recovery-mode", default="respawn",
+                   choices=["respawn", "shrink", "nc"],
+                   help="how the world is repaired after a failure: the "
+                        "paper's global respawn, shrink-in-place, or "
+                        "non-collective per-grid repair")
 
 
 def cmd_run(args) -> int:
@@ -66,6 +74,7 @@ def cmd_run(args) -> int:
     def make_cfg():
         return AppConfig(
             n=args.n, level=args.level, technique_code=args.technique,
+            recovery_mode=args.recovery_mode,
             steps=args.steps, diag_procs=args.diag_procs,
             checkpoint_count=args.checkpoints,
             decomposition=args.decomposition,
@@ -92,6 +101,7 @@ def cmd_run(args) -> int:
     else:
         m = metrics
         print(f"technique          : {m.technique} on {m.machine}")
+        print(f"recovery mode      : {m.recovery_mode}")
         print(f"world size         : {m.world_size}")
         print(f"failures           : {m.n_failures} "
               f"(ranks {m.failed_ranks}, grids {m.lost_gids})")
@@ -120,7 +130,7 @@ def cmd_run(args) -> int:
 def cmd_experiment(args) -> int:
     import time
 
-    from .experiments import fig8, fig9, fig10, fig11, table1
+    from .experiments import fig8, fig9, fig10, fig11, modes, table1
     from .sweep import RunCache, SweepRunner
 
     runner = SweepRunner(workers=args.workers,
@@ -154,6 +164,14 @@ def cmd_experiment(args) -> int:
         else:
             points = fig11.run_fig11_paper_scale(runner=runner)
         fmt = fig11.format_fig11
+    elif name == "modes":
+        if args.quick:
+            points = modes.run_modes(runner=runner)
+        else:
+            points = modes.run_modes(n=7, steps=32, diag_procs=4,
+                                     failure_counts=(1, 2, 3),
+                                     runner=runner)
+        fmt = modes.format_modes
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     wall = time.perf_counter() - t0  # noqa: ULF002 — host-side sweep timing
@@ -443,7 +461,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
     p_exp.add_argument("name",
-                       choices=["table1", "fig8", "fig9", "fig10", "fig11"])
+                       choices=["table1", "fig8", "fig9", "fig10", "fig11",
+                                "modes"])
     p_exp.add_argument("--quick", action="store_true",
                        help="small fast variant")
     p_exp.add_argument("--json", metavar="FILE",
@@ -490,8 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="model-check the recovery protocol over all failure "
              "placements")
     p_vp.add_argument("--modes", action="append", metavar="MODE",
-                      help="recovery modes to verify (CR, RC, AC; "
-                           "repeatable or comma-separated; default all)")
+                      help="recovery modes to verify (CR, RC, AC, SHRINK, "
+                           "NC; repeatable or comma-separated; default all)")
     p_vp.add_argument("--ranks", type=int, default=None,
                       help="override the annotated rank count")
     p_vp.add_argument("--failures", type=int, default=None,

@@ -120,6 +120,109 @@ class Layout:
         return "\n".join(lines)
 
 
+class SurvivorView:
+    """A layout re-expressed in *survivor* world numbering after a shrink.
+
+    The shrink-in-place recovery mode never replaces dead processes: the
+    world contracts and every surviving rank gets a new, smaller world rank
+    (original relative order preserved).  This view wraps the base
+    :class:`Layout` plus the list of original world ranks that survived
+    (indexed by current world rank) and answers the same queries in the new
+    numbering: a grid that lost members shrinks, a grid that lost everyone
+    becomes empty (``n_procs == 0``).
+
+    With ``adopt_orphans=True``, a grid that lost every member is instead
+    *adopted*: a donor rank is taken from a surviving group (preferring
+    groups with no losses, then the largest, then the lowest gid; never a
+    group's sole member, and — soft preference — never a group whose RC
+    replica/resample partner is already damaged) and reassigned to the
+    orphan grid, so the lost grid's work migrates onto a survivor that can
+    restore it through the recovery technique.  The choice is a pure
+    function of ``(base, members)``, so every rank computes the same
+    adoption.  ``adoptions`` maps orphan gid -> the donor's original gid
+    (the donor's old group contracted and needs restoration too).
+    """
+
+    def __init__(self, base, members, adopt_orphans: bool = False):
+        self.base = base
+        self.scheme = base.scheme
+        self.members: Tuple[int, ...] = tuple(members)
+        self.total_procs = len(self.members)
+        groups: Dict[int, List[int]] = {a.gid: [] for a in base.assignments}
+        for r, m in enumerate(self.members):
+            groups[base.gid_of(m)].append(r)
+        self.adoptions: Dict[int, int] = {}
+        if adopt_orphans:
+            self._adopt_orphans(base, groups)
+        self._rank_to_gid = [0] * self.total_procs
+        for g, ranks in groups.items():
+            for r in ranks:
+                self._rank_to_gid[r] = g
+        self.assignments = tuple(
+            GridAssignment(a.gid, a.index, a.role, tuple(sorted(groups[a.gid])))
+            for a in base.assignments)
+
+    def _adopt_orphans(self, base, groups: Dict[int, List[int]]) -> None:
+        base_sizes = {a.gid: len(base.group_ranks(a.gid))
+                      for a in base.assignments}
+        conflict: Dict[int, set] = {}
+        for x, y in self.scheme.rc_conflict_pairs():
+            conflict.setdefault(x, set()).add(y)
+            conflict.setdefault(y, set()).add(x)
+        for a in base.assignments:  # gid order: deterministic everywhere
+            if groups[a.gid]:
+                continue
+            damaged = {g for g, rs in groups.items()
+                       if len(rs) < base_sizes[g]}
+            cands = [g for g, rs in groups.items() if len(rs) >= 2]
+            safe = [g for g in cands if not (conflict.get(g, set()) & damaged)]
+            pool = safe or cands  # conflicting donor beats no donor: the
+            # technique's own loss validation reports the real constraint
+            if not pool:
+                raise RuntimeError(
+                    f"shrink-in-place cannot re-balance: grid {a.gid} lost "
+                    f"every member and no surviving grid can spare a donor "
+                    f"process (all groups are down to one member)")
+            pool.sort(key=lambda g: (len(groups[g]) < base_sizes[g],
+                                     -len(groups[g]), g))
+            donor_gid = pool[0]
+            groups[a.gid].append(groups[donor_gid].pop())
+            self.adoptions[a.gid] = donor_gid
+
+    # same query surface as Layout ------------------------------------
+    def gid_of(self, rank: int) -> int:
+        return self._rank_to_gid[rank]
+
+    def assignment(self, gid: int) -> GridAssignment:
+        return self.assignments[gid]
+
+    def root_rank(self, gid: int) -> int:
+        a = self.assignments[gid]
+        if not a.ranks:
+            raise ValueError(
+                f"grid {gid} has no surviving processes after shrink")
+        return a.ranks[0]
+
+    def group_ranks(self, gid: int) -> Tuple[int, ...]:
+        return self.assignments[gid].ranks
+
+    def grids_of_ranks(self, ranks) -> List[int]:
+        return sorted({self.gid_of(r) for r in ranks})
+
+    def conflict_pairs_ranks(self) -> List[Tuple[int, int]]:
+        return self.scheme.rc_conflict_pairs()
+
+    def describe(self) -> str:
+        lines = [f"SurvivorView: {self.total_procs} survivors over "
+                 f"{len(self.assignments)} grids"]
+        for a in self.assignments:
+            span = (f"ranks {a.ranks[0]}..{a.ranks[-1]}" if a.ranks
+                    else "no survivors")
+            lines.append(f"  grid {a.gid:2d} {a.role:9s} {a.index} -> "
+                         f"{span} ({a.n_procs})")
+        return "\n".join(lines)
+
+
 @lru_cache(maxsize=None)
 def layout_for(scheme: CombinationScheme, mode: str,
                diag_procs: int) -> Layout:

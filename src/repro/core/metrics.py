@@ -16,6 +16,7 @@ class RunMetrics:
     """
 
     technique: str = ""
+    recovery_mode: str = "respawn"
     machine: str = ""
     n: int = 0
     level: int = 0

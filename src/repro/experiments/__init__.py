@@ -5,11 +5,13 @@
 * :mod:`repro.experiments.fig9`   — data-recovery overheads (OPL + Raijin)
 * :mod:`repro.experiments.fig10`  — combined-solution approximation error
 * :mod:`repro.experiments.fig11`  — overall time and parallel efficiency
+* :mod:`repro.experiments.modes`  — recovery-mode comparison (respawn vs
+  shrink-in-place vs non-collective repair)
 
 Each exposes ``run_*`` (returns structured points) and ``format_*``
 (paper-style text table); ``python -m repro.experiments.<name>`` runs one.
 """
 
-from . import fig8, fig9, fig10, fig11, report, table1
+from . import fig8, fig9, fig10, fig11, modes, report, table1
 
-__all__ = ["fig8", "fig9", "fig10", "fig11", "table1", "report"]
+__all__ = ["fig8", "fig9", "fig10", "fig11", "modes", "table1", "report"]

@@ -213,3 +213,101 @@ async def restore_checkpoint(ctx, disk: Disk, gid: int, grid_comm, solver,
     if stats is not None:
         stats.read_time += cost
     return restored
+
+
+async def restore_checkpoint_remapped(ctx, disk: Disk, gid: int, grid_comm,
+                                      solver, old_n_parts: int,
+                                      stats: Optional[CheckpointStats] = None
+                                      ) -> int:
+    """Restore a sub-grid whose process group *changed size* (shrink mode).
+
+    Checkpoints on disk are keyed by the grid's **original** decomposition
+    (``old_n_parts`` slabs); after a shrink-in-place repair the group has
+    fewer members and a re-balanced decomposition.  Each surviving rank
+    reads exactly the overlapping regions of the old ranks' checkpoints
+    (per :func:`~repro.pde.decomposition.migration_plan`) and assembles its
+    new slab locally — the migration is fully distributed, with no root
+    gather.
+
+    The restore step is the latest step every *old* rank checkpointed (the
+    disk survives process death, so the victims' last complete checkpoints
+    are still readable).  Step 0 (the initial condition) is the fallback
+    when any old rank has no complete checkpoint.  Returns the restored
+    step count.
+    """
+    import numpy as np
+
+    from ..mpi.comm import BAND
+    from ..pde.decomposition import migration_plan, rebalance
+
+    old = rebalance(solver.decomp, old_n_parts)
+    plan = migration_plan(old, solver.decomp)[grid_comm.rank]
+    with ctx.span("checkpoint_read", gid=gid):
+        # candidate steps: checkpointed by *every* old rank, newest first.
+        # A grid that shrank before may carry later checkpoints written
+        # under its resized decomposition; those steps are absent for the
+        # higher old ranks, so the intersection naturally excludes them.
+        step_sets = [set(disk.available_steps(gid, r))
+                     for r in range(old_n_parts)]
+        candidates = [s for s in sorted(set.intersection(*step_sets),
+                                        reverse=True) if s > 0] \
+            if step_sets and all(step_sets) else []
+        cache: Dict[Tuple[int, int], Optional[dict]] = {}
+
+        def _valid(step: int) -> bool:
+            """My plan's pieces exist at ``step`` with old-slab extents
+            (a step re-written under a different decomposition has the
+            wrong shape and must be rejected)."""
+            for q, _s, _e in plan:
+                snap = cache.get((q, step))
+                if snap is None:
+                    snap = cache[(q, step)] = disk.read(gid, q, step)
+                if snap is None:
+                    return False
+                if (snap["level_x"], snap["level_y"]) != (solver.level_x,
+                                                          solver.level_y):
+                    return False
+                a, b = old.bounds(q)
+                u = snap["u"]
+                if (u.shape[0] if solver.axis == 0 else u.shape[1]) != b - a:
+                    return False
+            return True
+
+        mask = 0
+        for i, s in enumerate(candidates):
+            if _valid(s):
+                mask |= 1 << i
+        # the chosen step must be readable and shape-consistent on every
+        # rank: agree bitwise over the shared candidate list (identical
+        # everywhere — the disk is shared state)
+        common_mask = await grid_comm.allreduce(mask, op=BAND)
+        common = 0
+        for i, s in enumerate(candidates):
+            if common_mask & (1 << i):
+                common = s
+                break
+        if common <= 0:
+            cost = await ctx.disk_read(solver.u.nbytes)
+            from ..pde.lax_wendroff import periodic_from_initial
+            full = periodic_from_initial(solver.problem, solver.level_x,
+                                         solver.level_y)
+            solver.u = solver._slab(full)
+            solver.step_count = 0
+            restored = 0
+        else:
+            cost = 0.0
+            pieces = []
+            for q, s, e in plan:
+                u = cache[(q, common)]["u"]
+                a, _b = old.bounds(q)
+                piece = u[s - a:e - a, :] if solver.axis == 0 \
+                    else u[:, s - a:e - a]
+                cost += await ctx.disk_read(piece.nbytes)
+                pieces.append(piece)
+            solver.u = np.ascontiguousarray(
+                np.concatenate(pieces, axis=solver.axis))
+            solver.step_count = common
+            restored = common
+    if stats is not None:
+        stats.read_time += cost
+    return restored

@@ -48,6 +48,19 @@ class ReconstructTimers:
     total_failed: int = 0
     failed_ranks: List[int] = field(default_factory=list)
 
+    def charge(self, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` to one Table I phase bucket.
+
+        The retry loop calls this exactly once per phase per attempt —
+        including for the phase an attempt *aborted in* — so the timers
+        agree with the obs spans, which also close on error.
+        """
+        setattr(self, phase, getattr(self, phase) + seconds)
+
+
+class PlacementError(RuntimeError):
+    """No host can take a replacement under the requested placement policy."""
+
 
 def select_rank_key(mpi_rank: int, shrinked_group_size: int,
                     failed_ranks: Sequence[int], total_procs: int) -> int:
@@ -72,27 +85,58 @@ def _placement_hosts(universe, failed_ranks: Sequence[int],
 
     Capacity-based policies must see the slots already promised to earlier
     replacements in the same repair, hence the ``pending`` ledger.
+
+    Each policy has a *deterministic* fallback chain, tried in hostfile
+    order, and raises :class:`PlacementError` (never a bare IndexError)
+    once the chain is exhausted:
+
+    * ``same-host`` — the failed rank's original host (Fig. 5), else the
+      spare hosts in order, else the first regular host with capacity;
+    * ``spare`` — the spare hosts in order, else the first regular host
+      with capacity;
+    * ``first-fit`` — the first regular host with capacity, else the
+      spare hosts in order.
     """
     hostfile = universe.hostfile
     slots = hostfile[0].slots
     pending: dict = {}
 
-    def available(hosts):
+    def fits(h) -> bool:
+        return h is not None and h.free_slots - pending.get(h.name, 0) > 0
+
+    def first_available(hosts):
         for h in hosts:
-            if h.free_slots - pending.get(h.name, 0) > 0:
+            if fits(h):
                 return h
-        raise RuntimeError(f"no free slot for {placement} placement")
+        return None
+
+    def preferred_host(rank):
+        try:
+            return hostfile.host_of_rank(rank, slots)
+        except IndexError:
+            return None  # rank maps past the regular hosts: fall back
 
     names = []
     for rank in failed_ranks:
         if placement == PLACE_SAME_HOST:
-            host = hostfile.host_of_rank(rank, slots)
+            candidates = [preferred_host(rank),
+                          first_available(hostfile.spare_hosts),
+                          first_available(hostfile.regular_hosts)]
         elif placement == PLACE_SPARE:
-            host = available(hostfile.spare_hosts)
+            candidates = [first_available(hostfile.spare_hosts),
+                          first_available(hostfile.regular_hosts)]
         elif placement == PLACE_FIRST_FIT:
-            host = available(hostfile.regular_hosts)
+            candidates = [first_available(hostfile.regular_hosts),
+                          first_available(hostfile.spare_hosts)]
         else:
             raise ValueError(f"unknown placement policy {placement!r}")
+        host = next((h for h in candidates if fits(h)), None)
+        if host is None:
+            taken = {h.name: h.free_slots - pending.get(h.name, 0)
+                     for h in hostfile}
+            raise PlacementError(
+                f"no host has a free slot for replacement of rank {rank} "
+                f"under {placement!r} placement (free slots: {taken})")
         pending[host.name] = pending.get(host.name, 0) + 1
         names.append(host.name)
     return names
@@ -101,12 +145,19 @@ def _placement_hosts(universe, failed_ranks: Sequence[int],
 async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
                       placement: str = PLACE_SAME_HOST,
                       timers: Optional[ReconstructTimers] = None,
-                      max_attempts: int = 10) -> CommHandle:
+                      max_attempts: int = 10,
+                      rank_map: Optional[Sequence[int]] = None) -> CommHandle:
     """Fig. 5: repair a broken communicator (parent side).
 
     Returns the repaired communicator with original size and rank order.
     ``entry`` is the application entry point the children execute (the
     paper re-launches ``./ApplicationName`` with the original argv).
+
+    ``rank_map`` maps ranks of ``broken_comm`` to world ranks; the
+    non-collective repair mode passes a sub-grid communicator here, and the
+    map keeps the Fig. 5 host arithmetic (and the recorded failed-rank
+    history) in world terms.  ``None`` means the communicator *is* the
+    world.
 
     Extension beyond the paper's pseudocode: if a further failure lands
     *during* the repair (a spawn/merge/split participant dies), the whole
@@ -127,36 +178,50 @@ async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
             with ctx.span("shrink", attempt=_attempt):
                 shrunk = await broken_comm.shrink()          # Fig. 5 l.3
             shrink_time = wtime() - t0
-            t.shrink += shrink_time
+            t.charge("shrink", shrink_time)
 
             t0 = wtime()
             failed_ranks, total_failed = failed_procs_list(broken_comm,
                                                            shrunk)
-            t.failed_list += (wtime() - t0) + shrink_time  # list incl. shrink
+            t.charge("failed_list", (wtime() - t0) + shrink_time)
         for r in failed_ranks:  # accumulate across repeated repairs
-            if r not in t.failed_ranks:
-                t.failed_ranks.append(r)
+            w = rank_map[r] if rank_map is not None else r
+            if w not in t.failed_ranks:
+                t.failed_ranks.append(w)
         t.total_failed = len(t.failed_ranks)
 
-        host_names = _placement_hosts(ctx.universe, failed_ranks, placement)
+        placed = [rank_map[r] for r in failed_ranks] \
+            if rank_map is not None else failed_ranks
+        host_names = _placement_hosts(ctx.universe, placed, placement)
 
+        # Each attempt charges the phase it is in when it aborts — once,
+        # into the right bucket: ``phase`` names the in-flight phase and
+        # the handler closes its timer.  (The old form charged only on
+        # success, so an attempt aborted mid-spawn vanished from the
+        # timers while its span still recorded the time, and the retry's
+        # shrink looked slower than the spans said.)
+        phase = "spawn"
+        t0 = wtime()
         try:
-            t0 = wtime()
             with ctx.span("spawn", attempt=_attempt):
                 inter = await shrunk.spawn_multiple(         # Fig. 5 l.13
                     total_failed, entry, argv, host_names=host_names)
-            t.spawn += wtime() - t0
+            t.charge(phase, wtime() - t0)
 
+            phase = "merge"
             t0 = wtime()
             with ctx.span("merge", attempt=_attempt):
                 unordered = await inter.merge(high=False)    # Fig. 5 l.14
-            t.merge += wtime() - t0
+            t.charge(phase, wtime() - t0)
 
+            phase = "agree"
             t0 = wtime()
             with ctx.span("agree", attempt=_attempt):
                 await inter.agree(1)                         # Fig. 5 l.15
-            t.agree += wtime() - t0
+            t.charge(phase, wtime() - t0)
 
+            phase = "merge"
+            t0 = wtime()
             shrunk_size = shrunk.size
             # Fig. 5 l.21-23: rank 0 tells each child its old (failed) rank
             if unordered.rank == 0:
@@ -166,9 +231,14 @@ async def repair_comm(ctx, broken_comm, *, entry: Callable, argv: Sequence = (),
             # Fig. 5 l.24-25: re-order so survivors regain original ranks
             key = select_rank_key(unordered.rank, shrunk_size, failed_ranks,
                                   broken_comm.size)
-            return await unordered.split(0, key)
+            repaired = await unordered.split(0, key)
+            t.charge(phase, wtime() - t0)
+            return repaired
         except MPIError:
-            continue  # another failure mid-repair: retry from revoke
+            # another failure mid-repair: close the aborted phase's timer
+            # and retry from revoke
+            t.charge(phase, wtime() - t0)
+            continue
     raise RuntimeError(f"communicator repair failed {max_attempts} times")
 
 

@@ -1,0 +1,172 @@
+"""Pluggable recovery strategies: how the application repairs its world.
+
+The paper's protocol (Figs. 3/5) always re-spawns failed ranks and rebuilds
+the *global* communicator.  The FT-MPI literature since established two
+alternatives, and this module puts all three behind one interface:
+
+* ``respawn`` — the paper's global revoke + shrink + spawn + merge + split
+  pipeline; the world keeps its original size and rank order.
+* ``shrink`` — shrink-in-place ("Shrink or Substitute"): no spawn, no
+  merge; the world contracts, surviving ranks get a re-balanced
+  decomposition and the lost sub-grids' work migrates onto survivors.
+* ``nc`` — non-collective repair (Rocco & Palermo): only the failed
+  sub-grid's communicator is rebuilt, via its own local-group operations;
+  unaffected grids never stop solving.  Replacements are *re-admitted*
+  into the enclosing world communicator by a purely local membership
+  update.
+
+A strategy object is stateless and shared; per-run state lives on the
+:class:`~repro.core.app.CombinationApp`.  Each strategy supplies
+
+* ``detect_and_repair(app)`` — run this mode's failure-detection point
+  (and, on error, its repair pipeline); returns True when membership
+  changed;
+* ``post_repair(app)`` — the mode's membership/data resync after a repair
+  (world re-split, survivor redistribution, or lost-grid marking);
+* ``cost_estimate(machine, comm_size, n_failed)`` — the machine-model cost
+  entries the mode's repair charges, for planning and the mode-comparison
+  experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class RecoveryStrategy:
+    """Base class; subclasses are stateless and safe to share."""
+
+    mode: str = "?"
+    name: str = "?"
+    #: does this strategy replace failed ranks with spawned processes?
+    respawns: bool = False
+    #: does the world communicator keep its original size across repair?
+    preserves_world: bool = True
+
+    def validate_config(self, cfg) -> None:
+        """Raise ValueError for configurations the mode cannot run."""
+
+    def needs_placement(self) -> bool:
+        """Does this mode ever consult the replacement-placement policy?
+        (``shrink`` must not: with ``n_spares=0`` and an otherwise full
+        hostfile there is nowhere to place anyone, and shrink never
+        needs to.)"""
+        return self.respawns
+
+    def cost_estimate(self, machine, comm_size: int,
+                      n_failed: int) -> Dict[str, float]:
+        """Per-operation virtual-seconds the mode's repair charges.
+
+        ``comm_size`` is the communicator being repaired — the world for
+        ``respawn``/``shrink``, the affected sub-grid's group for ``nc``.
+        """
+        raise NotImplementedError
+
+    async def detect_and_repair(self, app) -> bool:
+        raise NotImplementedError
+
+    async def post_repair(self, app) -> None:
+        """Resync after ``detect_and_repair`` reported a change."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+class RespawnStrategy(RecoveryStrategy):
+    """The paper's Figs. 3/5 pipeline: global repair, original world back."""
+
+    mode = "respawn"
+    name = "global revoke+shrink+spawn+merge (paper, Figs. 3/5)"
+    respawns = True
+
+    def cost_estimate(self, machine, comm_size, n_failed):
+        u = machine.ulfm  # cost-table lookups, not communicator calls
+        return {"revoke": u.revoke(comm_size),
+                "shrink": u.shrink(comm_size, n_failed),
+                "spawn": u.spawn(comm_size, n_failed),
+                "merge": u.merge(comm_size),  # noqa: ULF007 — cost model, not a comm
+                "agree": u.agree(comm_size, n_failed)}
+
+    async def detect_and_repair(self, app) -> bool:
+        return await app._respawn_detect_repair()
+
+    async def post_repair(self, app) -> None:
+        await app._post_failure_resync(make_solver=False)
+
+
+class ShrinkInPlaceStrategy(RecoveryStrategy):
+    """Shrink the world and redistribute lost work over survivors."""
+
+    mode = "shrink"
+    name = "shrink-in-place (no spawn; survivors re-decompose)"
+    respawns = False
+    preserves_world = False
+
+    def validate_config(self, cfg) -> None:
+        if cfg.decomposition != "1d":
+            raise ValueError(
+                "shrink-in-place recovery requires the 1d slab "
+                "decomposition (re-balancing 2d Cartesian blocks over an "
+                "arbitrary survivor count is not supported)")
+
+    def cost_estimate(self, machine, comm_size, n_failed):
+        u = machine.ulfm
+        return {"revoke": u.revoke(comm_size),
+                "shrink": u.shrink(comm_size, n_failed),
+                "agree": u.agree(comm_size, n_failed)}
+
+    async def detect_and_repair(self, app) -> bool:
+        return await app._shrink_detect_repair()
+
+    async def post_repair(self, app) -> None:
+        await app._shrink_resync()
+
+
+class NonCollectiveStrategy(RecoveryStrategy):
+    """Rebuild only the failed sub-grid communicators; re-admit locally."""
+
+    mode = "nc"
+    name = "non-collective repair (per-grid rebuild + world readmit)"
+    respawns = True
+
+    def validate_config(self, cfg) -> None:
+        if cfg.decomposition != "1d":
+            raise ValueError(
+                "non-collective recovery requires the 1d slab "
+                "decomposition (the 2d solver wraps its communicator in a "
+                "Cartesian topology the per-grid repair cannot rebuild)")
+
+    def cost_estimate(self, machine, comm_size, n_failed):
+        u = machine.ulfm  # cost-table lookups, not communicator calls
+        return {"revoke": u.revoke(comm_size),
+                "shrink": u.shrink(comm_size, n_failed),
+                "spawn": u.spawn(comm_size, n_failed),
+                "merge": u.merge(comm_size),  # noqa: ULF007 — cost model, not a comm
+                "agree": u.agree(comm_size, n_failed),
+                "readmit": u.readmit(comm_size)}
+
+    async def detect_and_repair(self, app) -> bool:
+        return await app._nc_detect_repair()
+
+    async def post_repair(self, app) -> None:
+        # the grid was rebuilt in place; its data is only partially intact
+        # (replacements start fresh), so the grid joins the lost set and
+        # the technique's end-phase recovery restores it
+        if app.gid not in app.lost:
+            app.lost.append(app.gid)
+            app.lost.sort()
+
+
+STRATEGIES: Dict[str, RecoveryStrategy] = {
+    "respawn": RespawnStrategy(),
+    "shrink": ShrinkInPlaceStrategy(),
+    "nc": NonCollectiveStrategy(),
+}
+
+
+def strategy_by_mode(mode: str) -> RecoveryStrategy:
+    try:
+        return STRATEGIES[mode.lower()]
+    except KeyError:
+        raise ValueError(f"unknown recovery mode {mode!r}; "
+                         f"expected one of {sorted(STRATEGIES)}") from None

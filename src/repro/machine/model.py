@@ -80,32 +80,61 @@ class UlfmCostModel:
     extra_failure_factor: float = 0.35
     #: overall scale (1.0 = OPL-beta behaviour; smaller models a fixed MPI)
     scale: float = 1.0
+    #: floor (seconds) for any failure-handling operation — the Table I
+    #: curves start at 19 cores and extrapolate to 0.0 below ~18, which
+    #: would make non-collective repairs on small sub-grid groups literally
+    #: free; no real ULFM operation is
+    min_op_cost: float = 1.0e-3
 
     def _failure_scale(self, n_failed: int) -> float:
         if n_failed <= 1:
             return 1.0
         return 1.0 + self.extra_failure_factor * (n_failed - 2)
 
-    def spawn(self, n_cores: int, n_failed: int) -> float:
-        curve = self.spawn_single if n_failed <= 1 else self.spawn_multi
-        return self.scale * self._failure_scale(n_failed) * interp_curve(
+    def _op(self, n_cores: int, n_failed: int, single: Sequence[float],
+            multi: Sequence[float]) -> float:
+        """Shared spawn/shrink/agree evaluation with defined edges.
+
+        * ``n_failed <= 0`` — there is no failure to handle, so the
+          failure premium is zero (healthy-path costs are charged by the
+          generic collective model, not by these curves);
+        * ``n_failed >= n_cores`` — a communicator cannot lose more
+          members than it has: clamp, so small local groups (the
+          non-collective repair path) never extrapolate the failure scale
+          past the group size;
+        * interp_curve extrapolating to 0.0 below the calibrated range is
+          floored at ``min_op_cost`` (scaled, so a zero-scale model stays
+          free).
+        """
+        if n_failed <= 0:
+            return 0.0
+        n_failed = min(n_failed, max(1, n_cores))
+        curve = single if n_failed <= 1 else multi
+        cost = self._failure_scale(n_failed) * interp_curve(
             n_cores, self.cores, curve)
+        return self.scale * max(cost, self.min_op_cost)
+
+    def spawn(self, n_cores: int, n_failed: int) -> float:
+        return self._op(n_cores, n_failed, self.spawn_single, self.spawn_multi)
 
     def shrink(self, n_cores: int, n_failed: int) -> float:
-        curve = self.shrink_single if n_failed <= 1 else self.shrink_multi
-        return self.scale * self._failure_scale(n_failed) * interp_curve(
-            n_cores, self.cores, curve)
+        return self._op(n_cores, n_failed, self.shrink_single,
+                        self.shrink_multi)
 
     def agree(self, n_cores: int, n_failed: int) -> float:
-        curve = self.agree_single if n_failed <= 1 else self.agree_multi
-        return self.scale * self._failure_scale(n_failed) * interp_curve(
-            n_cores, self.cores, curve)
+        return self._op(n_cores, n_failed, self.agree_single, self.agree_multi)
 
     def merge(self, n_cores: int) -> float:
         return self.scale * interp_curve(n_cores, self.cores, self.merge_curve)
 
     def revoke(self, n_cores: int) -> float:
         # revocation is a reliable broadcast: log-tree latency scaling
+        return self.scale * 1e-4 * max(1.0, math.log2(max(n_cores, 2)))
+
+    def readmit(self, n_cores: int) -> float:
+        """Re-admitting one repaired process into an enclosing communicator
+        (the non-collective repair path): a purely local membership update
+        plus a log-tree notification, far below any collective repair."""
         return self.scale * 1e-4 * max(1.0, math.log2(max(n_cores, 2)))
 
 

@@ -181,6 +181,54 @@ class CommState:
         if self.batch is not None:
             self.batch.on_death(rank, now)
 
+    def readmit(self, rank: int, proc: Proc) -> None:
+        """Replace the dead member at ``rank`` with ``proc`` in place.
+
+        The local-membership half of the non-collective repair path: after a
+        sub-grid rebuilds itself, each surviving member re-admits the
+        replacement processes into the *enclosing* communicators the dead
+        processes belonged to, without any collective over those
+        communicators.  Idempotent — every survivor of the repaired grid
+        performs the same swap.
+
+        The swap patches the member lists of still-open rendezvous so a
+        fault-tolerant operation already in progress (e.g. a survivor-kind
+        ``agree`` that unaffected ranks have entered) starts waiting for the
+        replacement instead of skipping the dead member.  Patching only ever
+        *adds* a wait requirement, so no completion check is needed here.
+        The replacement inherits the dead member's per-channel collective
+        sequence numbers, keeping it aligned with the survivors' streams.
+
+        Callers must guarantee no in-flight point-to-point traffic still
+        addresses the dead member on this communicator (the non-collective
+        protocol re-admits before any post-failure operation is posted).
+        """
+        old = self.procs[rank]
+        if old is proc:
+            return                      # already re-admitted by another path
+        if not old.dead:
+            raise RankError(
+                f"rank {rank} of {self.name} is alive; cannot re-admit over it")
+        if proc.dead:
+            raise RankError(
+                f"cannot re-admit dead process {proc.name} into {self.name}")
+        self.procs[rank] = proc
+        self._rank_cache.pop(old.uid, None)
+        self._rank_cache[proc.uid] = rank
+        self._dead_ranks = self._dead_ranks - {rank}
+        self.group = Group(self.procs)
+        for (uid, channel), count in list(self._op_counts.items()):
+            if uid == old.uid:
+                self._op_counts[(proc.uid, channel)] = count
+                del self._op_counts[(uid, channel)]
+        for rv in self.rtable.open.values():
+            if not rv.completed and rv.doomed is None:
+                for i, m in enumerate(rv.members):
+                    if m.uid == old.uid:
+                        rv.members[i] = proc
+        old.comm_states.discard(self)
+        proc.comm_states.add(self)
+
     def do_revoke(self, now: float) -> None:
         if self.revoked:
             return
@@ -884,8 +932,13 @@ class CommHandle:
         containing the survivors in their original relative order."""
         state = self.state
         universe = state.universe
-        n_failed = max(1, state.n_failed())
-        cost = self._machine.ulfm.shrink(state.size, n_failed)
+        n_failed = state.n_failed()
+        if n_failed == 0:
+            # failure-free shrink is just a communicator duplication: price
+            # it like a split rather than charging the 1-failure ULFM curve
+            cost = self._machine.collective_cost(state.size, 16)
+        else:
+            cost = self._machine.ulfm.shrink(state.size, n_failed)
 
         def finisher(arrived, live):
             order = {p.uid: i for i, p in enumerate(state.procs)}
@@ -919,6 +972,26 @@ class CommHandle:
         return await self._collective(
             "agree", int(flag), kind=RvKind.SURVIVOR,
             cost_fn=lambda arr: cost, finisher=finisher, channel="agree")
+
+    async def readmit(self, rank: int, proc: Proc) -> "CommHandle":
+        """Re-admit a repaired process into this communicator (local op).
+
+        The non-collective repair path: the sub-grid has already rebuilt
+        itself, and each of its survivors patches the replacement into the
+        enclosing communicator's membership.  Charges the (small, log-tree)
+        re-admission notification cost and returns a handle rebound to the
+        updated state — for the caller this is ``self`` with the membership
+        fixed, since the swap happens in place.
+        """
+        self._check_rank(rank)
+        state = self.state
+        cost = self._machine.ulfm.readmit(state.size)
+        if cost:
+            await Sleep(cost)
+        state.readmit(rank, proc)
+        state.universe.trace(self.proc.name, "readmit",
+                             f"{state.name} r{rank} <- {proc.name}")
+        return self
 
     def failure_ack(self) -> None:
         """``OMPI_Comm_failure_ack``: snapshot currently-known failures."""

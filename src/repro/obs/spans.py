@@ -36,6 +36,8 @@ PHASES = (
     "recompute",         # CR lost-step recomputation
     "recovery",          # technique data-recovery window (Fig. 9a)
     "combine",           # gather-scatter combination
+    "redistribute",      # shrink-in-place: survivor re-decomposition + migration
+    "rebuild",           # non-collective repair of one sub-grid communicator
 )
 
 

@@ -53,3 +53,39 @@ class SlabDecomposition:
 def choose_axis(level_x: int, level_y: int) -> int:
     """Decompose along the axis with more points (ties -> x)."""
     return 0 if level_x >= level_y else 1
+
+
+def rebalance(decomp: SlabDecomposition, n_parts: int) -> SlabDecomposition:
+    """The same domain re-split over a different part count.
+
+    The shrink-in-place recovery mode re-decomposes a grid over its
+    surviving processes; the balanced contiguous rule is what makes the
+    result independent of *which* ranks died."""
+    return SlabDecomposition(decomp.n_points, n_parts, decomp.axis)
+
+
+def migration_plan(old: SlabDecomposition,
+                   new: SlabDecomposition) -> List[List[Tuple[int, int, int]]]:
+    """Which old slabs each new part must read to assemble its slab.
+
+    Returns, for each new part, the list of ``(old_part, start, stop)``
+    half-open global index intervals covering the new part's bounds, in
+    ascending order.  Used by the shrink-in-place checkpoint restore: each
+    surviving rank reads exactly the overlapping regions of the old ranks'
+    checkpoints, so the migration is fully distributed.
+    """
+    if old.n_points != new.n_points or old.axis != new.axis:
+        raise ValueError(
+            f"cannot migrate between decompositions of different domains "
+            f"({old.n_points}@axis{old.axis} vs {new.n_points}@axis{new.axis})")
+    plan: List[List[Tuple[int, int, int]]] = []
+    for p in range(new.n_parts):
+        lo, hi = new.bounds(p)
+        pieces: List[Tuple[int, int, int]] = []
+        for q in range(old.owner_of(lo), old.owner_of(hi - 1) + 1):
+            a, b = old.bounds(q)
+            s, e = max(a, lo), min(b, hi)
+            if s < e:
+                pieces.append((q, s, e))
+        plan.append(pieces)
+    return plan

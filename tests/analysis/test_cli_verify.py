@@ -22,7 +22,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 def test_verify_protocol_default_clean(capsys):
     assert cli_main(["verify-protocol"]) == 0
     out = capsys.readouterr().out
-    for mode in ("CR", "RC", "AC"):
+    for mode in ("CR", "RC", "AC", "SHRINK", "NC"):
         assert f"{mode}:" in out
     assert "deadlock-free" in out
 
@@ -42,7 +42,8 @@ def test_verify_protocol_json(capsys):
     assert cli_main(["verify-protocol", "--format", "json"]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["ok"] is True
-    assert {m["mode"] for m in doc["modes"]} == {"CR", "RC", "AC"}
+    assert {m["mode"] for m in doc["modes"]} == \
+        {"CR", "RC", "AC", "SHRINK", "NC"}
     for m in doc["modes"]:
         assert m["states"] > 0
         assert m["violations"] == []

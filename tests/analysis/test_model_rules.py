@@ -1,8 +1,9 @@
 """Protocol-model rule integration (repro.analysis.model.rules).
 
 Covers the lint hook (annotated functions model-checked inside
-``lint_file``), the shipped-mode verifier (CR/RC/AC deadlock-free with
-the real ft.reconstruct inlined), and error reporting.
+``lint_file``), the shipped-mode verifier (CR/RC/AC/SHRINK/NC
+deadlock-free with the real ft.reconstruct inlined), and error
+reporting.
 """
 
 import pytest
@@ -21,7 +22,8 @@ def test_model_rules_are_catalogued_as_errors():
 
 def test_shipped_modes_are_deadlock_free():
     reports = verify_modes()
-    assert {r.mode for r in reports} == {"CR", "RC", "AC"}
+    assert {r.mode for r in reports} == \
+        {"CR", "RC", "AC", "SHRINK", "NC"}
     for rep in reports:
         assert rep.ok, (rep.mode, [v.message for v in rep.result.violations])
         assert rep.result.states > 0
@@ -71,3 +73,16 @@ async def parent(ctx, world):
 '''
     violations = lint_file("m.py", source=src)
     assert [v.rule for v in violations] == ["ULF000"]
+
+
+def test_new_mode_skeletons_verify_as_a_subset():
+    """The shrink-in-place and non-collective skeletons prove out on
+    their own, over every single-failure placement."""
+    shrink, nc = verify_modes(["SHRINK", "NC"])
+    assert (shrink.mode, nc.mode) == ("SHRINK", "NC")
+    for rep in (shrink, nc):
+        assert rep.ok, (rep.mode,
+                        [v.message for v in rep.result.violations])
+        # one placement per killable model rank, all explored
+        assert rep.result.kills_explored >= \
+            rep.source.model.ranks - 1

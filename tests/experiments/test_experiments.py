@@ -155,3 +155,74 @@ def test_fig11_orderings():
     firsts = [p for p in pts if p.cores in (11, 19, 14)]
     assert all(p.efficiency == pytest.approx(1.0) for p in firsts)
     assert "efficiency" in format_fig11(pts)
+
+
+# ---------------------------------------------------------------------------
+# recovery-mode comparison
+# ---------------------------------------------------------------------------
+def test_modes_kill_plan_is_deterministic_and_portable():
+    from repro.core import AppConfig
+    from repro.experiments.modes import mode_kill_plan
+
+    cfg = AppConfig(n=6, level=4, technique_code="CR", steps=16,
+                    diag_procs=2, checkpoint_count=4)
+    plan = mode_kill_plan(cfg, 2, at=1.0)
+    assert plan == mode_kill_plan(cfg, 2, at=1.0)
+    ranks = [k.rank for k in plan]
+    assert len(set(ranks)) == 2
+    assert 0 not in ranks                      # rank 0 survives in every mode
+    assert all(k.at == 1.0 for k in plan)      # simultaneous
+    layout = cfg.layout()
+    gids = [g for g in range(7) for r in ranks
+            if r in layout.group_ranks(g)]
+    assert len(set(gids)) == 2                 # distinct grids
+    # each hit grid keeps a survivor (nc-mode requirement)
+    assert all(len(layout.group_ranks(g)) >= 2 for g in gids)
+
+
+def test_modes_kill_plan_rejects_oversized_requests():
+    from repro.core import AppConfig
+    from repro.experiments.modes import mode_kill_plan
+
+    cfg = AppConfig(n=6, level=4, technique_code="CR", steps=16,
+                    diag_procs=2, checkpoint_count=4)
+    with pytest.raises(ValueError, match="eligible"):
+        mode_kill_plan(cfg, 5, at=1.0)  # only four multi-member grids
+
+
+def test_modes_kill_plan_avoids_rc_replica_pairs():
+    from repro.core import AppConfig
+    from repro.experiments.modes import mode_kill_plan
+
+    cfg = AppConfig(n=6, level=4, technique_code="RC", steps=16,
+                    diag_procs=2, checkpoint_count=4)
+    layout = cfg.layout()
+    conflicts = set(map(tuple, cfg.scheme().rc_conflict_pairs()))
+    plan = mode_kill_plan(cfg, 2, at=1.0)
+    gids = sorted(g for k in plan
+                  for g in range(len(cfg.scheme().grids))
+                  if k.rank in layout.group_ranks(g))
+    assert tuple(gids) not in conflicts
+
+
+def test_modes_experiment_shapes():
+    from repro.experiments.modes import format_modes, run_modes
+
+    pts = run_modes(failure_counts=(1,))
+    by = {(p.mode, p.technique, p.n_failures): p for p in pts}
+    # a baseline row and a killed row per (mode, technique)
+    assert len(pts) == 18
+    for mode in ("respawn", "shrink", "nc"):
+        for code in ("CR", "RC", "AC"):
+            assert by[(mode, code, 0)].overhead == pytest.approx(1.0)
+    # shrink skips spawn+merge entirely: cheapest repair
+    assert by[("shrink", "CR", 1)].t_reconstruct < \
+        by[("respawn", "CR", 1)].t_reconstruct
+    # non-collective repair stays off the critical path
+    assert by[("nc", "CR", 1)].overhead == pytest.approx(1.0, rel=1e-3)
+    # CR is exact in every mode
+    for mode in ("respawn", "shrink", "nc"):
+        assert by[(mode, "CR", 1)].error_l1 == pytest.approx(
+            by[(mode, "CR", 0)].error_l1, rel=1e-9)
+    text = format_modes(pts)
+    assert "mode" in text and "shrink" in text and "nc" in text

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.ft import (PLACE_FIRST_FIT, PLACE_SAME_HOST, PLACE_SPARE,
                       ReconstructTimers, communicator_reconstruct,
                       select_rank_key)
+from repro.ft.reconstruct import PlacementError, _placement_hosts
 from repro.machine import Hostfile
 from repro.mpi import MPIError, Universe
 from repro.machine.presets import IDEAL, OPL
@@ -166,6 +167,135 @@ def test_first_fit_placement():
     uni.run(raise_task_failures=False)
     # the death freed a slot on node001, which is the first fit
     assert hosts_box == {3: "node001"}
+
+
+# ---------------------------------------------------------------------------
+# placement fallback chains (_placement_hosts)
+# ---------------------------------------------------------------------------
+class _Uni:
+    """Just enough universe for ``_placement_hosts``."""
+
+    def __init__(self, hostfile):
+        self.hostfile = hostfile
+
+
+def _occupy(hf, **counts):
+    for h in hf:
+        if h.name in counts:
+            h.occupied = counts[h.name]
+    return hf
+
+
+def test_same_host_prefers_original_host():
+    hf = Hostfile.uniform(2, slots=2)
+    assert _placement_hosts(_Uni(hf), [3], PLACE_SAME_HOST) == ["node001"]
+
+
+def test_same_host_falls_back_to_spares_then_regular():
+    hf = _occupy(Hostfile.uniform(2, slots=2, n_spares=1), node001=2)
+    assert _placement_hosts(_Uni(hf), [3], PLACE_SAME_HOST) == ["spare000"]
+    hf = _occupy(Hostfile.uniform(2, slots=2), node001=2)
+    assert _placement_hosts(_Uni(hf), [3], PLACE_SAME_HOST) == ["node000"]
+
+
+def test_same_host_rank_past_hostfile_falls_back():
+    """A rank whose Fig. 5 arithmetic maps past the regular hosts (the
+    old IndexError path) takes the deterministic fallback chain."""
+    hf = Hostfile.uniform(2, slots=2, n_spares=1)
+    assert _placement_hosts(_Uni(hf), [99], PLACE_SAME_HOST) == ["spare000"]
+
+
+def test_spare_policy_falls_back_to_regular():
+    hf = Hostfile.uniform(2, slots=2)  # no spares at all
+    assert _placement_hosts(_Uni(hf), [1], PLACE_SPARE) == ["node000"]
+
+
+def test_first_fit_policy_falls_back_to_spares():
+    hf = _occupy(Hostfile.uniform(2, slots=2, n_spares=1),
+                 node000=2, node001=2)
+    assert _placement_hosts(_Uni(hf), [1], PLACE_FIRST_FIT) == ["spare000"]
+
+
+def test_pending_ledger_spreads_same_repair():
+    """Replacements placed earlier in the same repair consume capacity the
+    later ones must see — two victims of a one-free-slot host cannot both
+    land on it."""
+    hf = _occupy(Hostfile.uniform(2, slots=2), node000=1, node001=1)
+    names = _placement_hosts(_Uni(hf), [0, 1], PLACE_SAME_HOST)
+    assert names == ["node000", "node001"]
+
+
+@pytest.mark.parametrize("placement",
+                         [PLACE_SAME_HOST, PLACE_SPARE, PLACE_FIRST_FIT])
+def test_exhausted_hostfile_raises_placement_error(placement):
+    hf = _occupy(Hostfile.uniform(2, slots=2, n_spares=1),
+                 node000=2, node001=2, spare000=2)
+    with pytest.raises(PlacementError) as exc:
+        _placement_hosts(_Uni(hf), [1], placement)
+    assert "rank 1" in str(exc.value)
+    assert placement in str(exc.value)
+
+
+def test_placement_is_deterministic():
+    hf = _occupy(Hostfile.uniform(3, slots=2, n_spares=1), node001=2)
+    uni = _Uni(hf)
+    first = _placement_hosts(uni, [2, 3, 0], PLACE_SAME_HOST)
+    assert first == _placement_hosts(uni, [2, 3, 0], PLACE_SAME_HOST)
+
+
+def test_unknown_placement_policy_rejected():
+    with pytest.raises(ValueError):
+        _placement_hosts(_Uni(Hostfile.uniform(1)), [0], "teleport")
+
+
+# ---------------------------------------------------------------------------
+# phase-time attribution across failed repair attempts
+# ---------------------------------------------------------------------------
+def test_aborted_attempt_charges_its_inflight_phase():
+    """An attempt aborted mid-repair charges the phase it died in: the
+    merge wait for a doomed replacement lands in ``timers.merge`` instead
+    of vanishing.  (The obs spans always closed on error, so before the
+    fix the timers under-reported against the span breakdown and the
+    retry's phases looked slower than they were.)"""
+    def make_main(box):
+        async def main(ctx):
+            await ctx.compute(1.0)  # replacements pause before joining too
+            t = ReconstructTimers()
+            world = await communicator_reconstruct(ctx, ctx.comm,
+                                                   entry=main, timers=t)
+            if world is None:
+                return "orphan"
+            if world.rank == 0:
+                box["t"] = t
+            return world.rank
+        return main
+
+    def run(kill_replacement):
+        box = {}
+        uni = Universe(IDEAL)
+        job = uni.launch(4, make_main(box))
+        uni.kill_rank(job, 2, at=0.5)
+        if kill_replacement:
+            # the first replacement spawns at ~1.0 and would join at ~2.0
+            # (its initial compute); kill it mid-pause so the parents'
+            # merge — entered at ~1.0 — aborts at 1.5
+            def kill_first():
+                assert len(uni.jobs) > 1, "replacement not spawned yet"
+                p = uni.jobs[1].procs[0]
+                if p.alive:
+                    uni.kill_proc(p)
+            uni.engine.call_at(1.5, kill_first)
+        uni.run(raise_task_failures=False)
+        return box["t"]
+
+    control = run(kill_replacement=False)
+    retried = run(kill_replacement=True)
+    # one clean attempt: merge waits out the replacement's 1.0s startup
+    assert control.merge == pytest.approx(1.0, abs=0.05)
+    # aborted attempt adds its 0.5s doomed wait on top of the clean retry
+    assert retried.merge == pytest.approx(1.5, abs=0.05)
+    # and the buckets cover the repair total — nothing vanishes
+    assert retried.merge == pytest.approx(retried.reconstruct, abs=0.05)
 
 
 def test_failure_during_recovery_loops_again():

@@ -128,3 +128,60 @@ def test_with_overrides_copies():
 
 def test_presets_registry():
     assert set(PRESETS) == {"OPL", "Raijin", "ideal", "OPL-fixed-ulfm"}
+
+
+# ---------------------------------------------------------------------------
+# failure-count edges: _failure_scale and the _op guard rails
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n_failed,scale", [
+    (1, 1.0),     # single failure: the gentle curves, no premium
+    (2, 1.0),     # Table I calibration point itself
+    (3, 1.35),    # one extra failure beyond the second
+    (4, 1.70),
+    (10, 3.80),
+])
+def test_failure_scale_table(n_failed, scale):
+    assert UlfmCostModel()._failure_scale(n_failed) == pytest.approx(scale)
+
+
+@pytest.mark.parametrize("op", ["spawn", "shrink", "agree"])
+@pytest.mark.parametrize("n_failed", [0, -1, -10])
+def test_no_failures_cost_nothing(op, n_failed):
+    """No failure premium on the healthy path: those costs belong to the
+    generic collective model, not the Table I curves."""
+    assert getattr(UlfmCostModel(), op)(304, n_failed) == 0.0
+
+
+@pytest.mark.parametrize("op", ["spawn", "shrink", "agree"])
+def test_failures_clamped_to_group_size(op):
+    """A communicator cannot lose more members than it has — small groups
+    (the non-collective repair path) must not extrapolate the failure
+    scale past their size."""
+    m = UlfmCostModel()
+    assert getattr(m, op)(4, 9) == getattr(m, op)(4, 4)
+    assert getattr(m, op)(1, 5) == getattr(m, op)(1, 1)
+
+
+@pytest.mark.parametrize("op", ["spawn", "shrink", "agree"])
+@pytest.mark.parametrize("n_failed", [1, 2])
+def test_small_groups_floored_not_free(op, n_failed):
+    """Below the 19-core calibration range the Table I curves extrapolate
+    to 0.0; the floor keeps sub-grid-sized repairs from being free."""
+    m = UlfmCostModel()
+    assert getattr(m, op)(2, n_failed) >= m.min_op_cost
+
+
+def test_zero_scale_model_floor_stays_free():
+    from repro.machine import ZERO_ULFM
+    assert ZERO_ULFM.spawn(2, 1) == 0.0
+    assert ZERO_ULFM.shrink(2, 2) == 0.0
+    assert ZERO_ULFM.readmit(1024) == 0.0
+
+
+def test_readmit_log_tree_scaling():
+    m = UlfmCostModel()
+    assert m.readmit(2) == pytest.approx(1e-4)
+    assert m.readmit(1024) == pytest.approx(1e-3)
+    assert m.readmit(1) == m.readmit(2)  # clamped at log2(2)
+    # a local membership update, far below any collective repair
+    assert m.readmit(304) < m.agree(304, 1) / 100
