@@ -20,6 +20,7 @@ Usage::
     PYTHONPATH=src python scripts/bench.py --smoke   # CI: runs, no JSON
     PYTHONPATH=src python scripts/bench.py --experiments  # sweep engine
     PYTHONPATH=src python scripts/bench.py --scale [--smoke]  # rank scaling
+    PYTHONPATH=src python scripts/bench.py --service [--smoke]  # HTTP API
 
 ``--scale`` measures events/s and peak RSS versus rank count (16 ->
 8192) for the batch-vectorised substrate against the per-rank event
@@ -43,6 +44,15 @@ producing numbers anyone should read.
 4-worker pool vs warm-cache rerun, plus fig11's intrinsic cache-dedup
 rate.  Pool speedup is only meaningful on multicore hosts — the file
 records ``cpu_count`` so readers can judge the pool numbers.
+
+``--service`` benchmarks the results service (emitting
+``BENCH_service.json``): cold vs warm experiment-document latency over
+real HTTP against a ``repro serve`` instance, the N-concurrent-clients
+-> 1-execution dedup factor of the coalescing job queue, and a
+shard-scaling curve of the on-disk store (put/get/scan latency vs entry
+count).  Unlike the other smoke modes, ``--service --smoke`` still
+writes the JSON (with ``"smoke": true``) so CI can upload it as an
+artifact.
 """
 
 from __future__ import annotations
@@ -382,6 +392,182 @@ def run_experiments_bench(output: str, smoke: bool) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# results-service benchmark (--service -> BENCH_service.json)
+# ----------------------------------------------------------------------
+
+#: warm requests timed against the already-computed document
+SERVICE_WARM_REQUESTS = 100
+#: concurrent identical cold requests for the dedup measurement
+SERVICE_DEDUP_CLIENTS = 8
+#: store sizes for the shard-scaling curve (entries per store)
+SERVICE_SHARD_COUNTS = (64, 512, 4096)
+SERVICE_SHARD_PROBES = 128
+
+
+def _pctl(values, q: float) -> float:
+    """The q-quantile by nearest rank (q in [0, 1])."""
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def bench_service_http(tmp_dir: Path, smoke: bool) -> dict:
+    """Cold vs warm document latency and the coalescing dedup factor,
+    measured over real HTTP against an in-process ``repro serve``."""
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import create_server
+
+    warm_n = 10 if smoke else SERVICE_WARM_REQUESTS
+    clients = 4 if smoke else SERVICE_DEDUP_CLIENTS
+
+    server = create_server(port=0, cache_dir=str(tmp_dir / "cache"),
+                           queue_workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}", timeout=60)
+    try:
+        client.wait_healthy()
+
+        # cold: one end-to-end document — 202, background compute, poll
+        # to 200 — through the real table1 driver
+        t0 = time.perf_counter()
+        client.experiment("table1", poll_interval=0.02, timeout=600)
+        cold_s = time.perf_counter() - t0
+
+        # warm: the same document straight from the shared store
+        latencies_ms = []
+        for _ in range(warm_n):
+            t0 = time.perf_counter()
+            status, _ = client.experiment_once("table1")
+            latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+            assert status == 200, f"warm request answered {status}"
+
+        # dedup: N clients fire the same cold request at the same instant;
+        # the job queue must run the computation exactly once
+        before = client.cache_stats()["queue"]
+        barrier = threading.Barrier(clients)
+        tickets = []
+        lock = threading.Lock()
+
+        def fire():
+            barrier.wait()
+            ticket = client.experiment_once("fig10")
+            with lock:
+                tickets.append(ticket)
+
+        threads = [threading.Thread(target=fire) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # snapshot before the poll loop: each poll that lands mid-compute
+        # also coalesces, which would inflate the dedup count
+        fired = client.cache_stats()["queue"]
+        client.experiment("fig10", poll_interval=0.02, timeout=600)
+        after = client.cache_stats()["queue"]
+
+        executed = after["executed"] - before["executed"]
+        deduped = fired["deduped"] - before["deduped"]
+        jobs = {p["job"] for s, p in tickets if s == 202}
+        assert executed == 1, f"dedup broken: {executed} executions"
+        assert len(jobs) <= 1, f"dedup broken: {len(jobs)} distinct jobs"
+        warm_p50 = round(_pctl(latencies_ms, 0.50), 2)
+        assert warm_p50 < 50.0, f"warm p50 {warm_p50}ms over budget"
+        return {
+            "cold": {"experiment": "table1", "wall_s": round(cold_s, 3)},
+            "warm": {
+                "requests": warm_n,
+                "p50_ms": warm_p50,
+                "p95_ms": round(_pctl(latencies_ms, 0.95), 2),
+                "max_ms": round(max(latencies_ms), 2),
+            },
+            "dedup": {
+                "experiment": "fig10",
+                "clients": clients,
+                "jobs_executed": executed,
+                "requests_deduped": deduped,
+                "factor": clients,     # N concurrent requests -> 1 run
+            },
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.state.queue.shutdown(wait=False)
+
+
+def bench_service_shards(tmp_dir: Path, smoke: bool) -> list:
+    """Put/get/scan latency of the sharded store vs entry count."""
+    import hashlib
+
+    from repro.service.store import SharedStore
+
+    counts = (32,) if smoke else SERVICE_SHARD_COUNTS
+    probes = 16 if smoke else SERVICE_SHARD_PROBES
+    blob = b"x" * 2048
+    curve = []
+    for count in counts:
+        store = SharedStore(tmp_dir / f"shards-{count}")
+        keys = [hashlib.sha256(str(i).encode()).hexdigest()[:16]
+                for i in range(count)]
+        t0 = time.perf_counter()
+        for key in keys:
+            store.put(key, blob)
+        put_s = time.perf_counter() - t0
+
+        sample = keys[::max(1, count // probes)][:probes]
+        t0 = time.perf_counter()
+        for key in sample:
+            assert store.get(key) is not None
+        get_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        scanned = len(store.keys())
+        scan_s = time.perf_counter() - t0
+        assert scanned == count
+
+        curve.append({
+            "entries": count,
+            "shards": store.stats().shards,
+            "put_us_per_entry": round(put_s / count * 1e6, 1),
+            "get_us_per_entry": round(get_s / len(sample) * 1e6, 1),
+            "scan_ms": round(scan_s * 1000.0, 2),
+        })
+    return curve
+
+
+def run_service_bench(output: str, smoke: bool) -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        tmp_dir = Path(tmp)
+        results = {
+            "python": platform.python_version(),
+            "smoke": smoke,
+            **bench_service_http(tmp_dir, smoke),
+            "shard_scaling": bench_service_shards(tmp_dir, smoke),
+        }
+
+    print(f"{'cold_wall_s':>20}: {results['cold']['wall_s']}")
+    print(f"{'warm_p50_ms':>20}: {results['warm']['p50_ms']}")
+    print(f"{'warm_p95_ms':>20}: {results['warm']['p95_ms']}")
+    d = results["dedup"]
+    print(f"{'dedup':>20}: {d['clients']} clients -> "
+          f"{d['jobs_executed']} execution "
+          f"({d['requests_deduped']} deduped)")
+    for point in results["shard_scaling"]:
+        print(f"{'shard_scaling':>20}: entries={point['entries']:<5} "
+              f"shards={point['shards']:<3} "
+              f"get={point['get_us_per_entry']}us "
+              f"scan={point['scan_ms']}ms")
+    Path(output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}"
+          + (" (smoke numbers: not representative)" if smoke else ""))
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("-o", "--output", default=None,
@@ -399,6 +585,9 @@ def main(argv=None) -> int:
                     help="events/s and peak-RSS curves vs rank count, "
                          "batch vs event substrate (merged into the JSON "
                          "under 'scale')")
+    ap.add_argument("--service", action="store_true",
+                    help="benchmark the results service over HTTP (cold "
+                         "vs warm latency, request dedup, shard scaling)")
     ap.add_argument("--scale-point", metavar="JSON", default=None,
                     help=argparse.SUPPRESS)  # internal: one point, one proc
     args = ap.parse_args(argv)
@@ -412,6 +601,9 @@ def main(argv=None) -> int:
     if args.experiments:
         return run_experiments_bench(
             args.output or "BENCH_experiments.json", args.smoke)
+    if args.service:
+        return run_service_bench(args.output or "BENCH_service.json",
+                                 args.smoke)
     if args.output is None:
         args.output = "BENCH_substrate.json"
 

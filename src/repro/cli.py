@@ -7,6 +7,8 @@
     python -m repro experiment fig10 --quick [--json FILE] [--workers N]
                                      [--cache DIR]
     python -m repro experiment modes --quick --json obs/modes.json
+    python -m repro serve --port 8642 --cache /var/cache/repro
+    python -m repro cache stats|verify|gc --cache /var/cache/repro
     python -m repro describe --technique RC --n 8
     python -m repro lint [paths ...] [--format json] [--select ULF006]
     python -m repro verify-protocol [--modes CR,RC] [--ranks 4]
@@ -16,7 +18,11 @@
 ``run`` executes one application run (optionally with real failures) and
 prints the metrics; ``experiment`` regenerates one paper table/figure
 (``--json`` writes the machine-readable document with per-phase timing
-breakdowns); ``describe`` prints the combination scheme and process
+breakdowns); ``serve`` exposes the results service HTTP API over a
+shared ``--cache`` store (cold experiments answer 202 and compute in the
+background; see :mod:`repro.service.server`); ``cache`` inspects and
+maintains such a store (``stats``/``verify``/``gc``, exit codes on the
+lint contract); ``describe`` prints the combination scheme and process
 layout; ``lint`` runs the ULF001-ULF020 static + dataflow + protocol
 model checks; ``verify-protocol`` extracts the recovery skeletons
 (CR/RC/AC data recovery plus the SHRINK and NC repair modes) and
@@ -130,50 +136,14 @@ def cmd_run(args) -> int:
 def cmd_experiment(args) -> int:
     import time
 
-    from .experiments import fig8, fig9, fig10, fig11, modes, table1
+    from .experiments.registry import format_experiment, run_experiment
     from .sweep import RunCache, SweepRunner
 
     runner = SweepRunner(workers=args.workers,
                          cache=RunCache(directory=args.cache))
     name = args.name
     t0 = time.perf_counter()  # noqa: ULF002 — host-side sweep timing, not simulated time
-    if name == "table1":
-        points = table1.run_table1(steps=8, runner=runner)
-        fmt = table1.format_table1
-    elif name == "fig8":
-        seeds = (0,) if args.quick else (0, 1, 2)
-        points = fig8.run_fig8(steps=8, seeds=seeds, runner=runner)
-        fmt = fig8.format_fig8
-    elif name == "fig9":
-        if args.quick:
-            points = fig9.run_fig9(n=7, steps=16, seeds=(0,), runner=runner)
-        else:
-            points = fig9.run_fig9_paper_scale(seeds=(0,), runner=runner)
-        fmt = fig9.format_fig9
-    elif name == "fig10":
-        seeds = tuple(range(3 if args.quick else 10))
-        n = 7 if args.quick else 9
-        steps = 32 if args.quick else 128
-        points = fig10.run_fig10(n=n, steps=steps, seeds=seeds,
-                                 runner=runner)
-        fmt = fig10.format_fig10
-    elif name == "fig11":
-        if args.quick:
-            points = fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
-                                     compute_scale=200.0, runner=runner)
-        else:
-            points = fig11.run_fig11_paper_scale(runner=runner)
-        fmt = fig11.format_fig11
-    elif name == "modes":
-        if args.quick:
-            points = modes.run_modes(runner=runner)
-        else:
-            points = modes.run_modes(n=7, steps=32, diag_procs=4,
-                                     failure_counts=(1, 2, 3),
-                                     runner=runner)
-        fmt = modes.format_modes
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown experiment {name}")
+    points = run_experiment(name, bool(args.quick), runner)
     wall = time.perf_counter() - t0  # noqa: ULF002 — host-side sweep timing
     if args.json:
         from .experiments.report import write_experiment_json
@@ -189,12 +159,65 @@ def cmd_experiment(args) -> int:
         if args.json != "-":
             print(f"wrote {args.json}", file=sys.stderr)
     else:
-        print(fmt(points))
+        print(format_experiment(name, points))
         stats = runner.cache.stats()
         print(f"[sweep] workers={runner.workers} wall={wall:.2f}s "
               f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es)",
               file=sys.stderr)
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .service.server import serve
+    return serve(host=args.host, port=args.port, cache_dir=args.cache,
+                 queue_workers=args.queue_workers,
+                 max_pending=args.max_pending,
+                 sweep_workers=args.workers, quiet=args.quiet)
+
+
+def cmd_cache(args) -> int:
+    # exit codes follow the lint contract: 0 clean, 1 findings, 2 usage
+    import os
+
+    from .service.store import SharedStore
+
+    if not os.path.isdir(args.cache):
+        print(f"error: no such cache directory: {args.cache}",
+              file=sys.stderr)
+        return 2
+    store = SharedStore(args.cache)
+    if args.action == "stats":
+        stats = store.stats().to_dict()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            for k, v in stats.items():
+                print(f"{k:>16}: {v}")
+        return 0
+    if args.action == "verify":
+        report = store.verify(quarantine=args.quarantine)
+        out = {"ok": len(report["ok"]), "corrupt": report["corrupt"],
+               "quarantined": bool(args.quarantine and report["corrupt"])}
+        if args.json:
+            print(json.dumps(out, indent=2))
+        else:
+            print(f"verified {out['ok']} entr(ies) ok, "
+                  f"{len(report['corrupt'])} corrupt"
+                  + (" (quarantined)" if out["quarantined"] else ""))
+            for key in report["corrupt"]:
+                print(f"  corrupt: {key}")
+        return 1 if report["corrupt"] else 0
+    if args.action == "gc":
+        report = store.gc()
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"gc: removed {report['tmp_removed']} tmp file(s) and "
+                  f"{report['corrupt_removed']} quarantined blob(s), "
+                  f"migrated {report['migrated']} flat entr(ies) into "
+                  f"shards")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action}")  # pragma: no cover
 
 
 def cmd_timeline(args) -> int:
@@ -475,6 +498,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the memoised run cache to DIR "
                             "(reruns with the same configs become hits)")
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve experiment/run JSON over HTTP from the shared cache")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral; default 8642)")
+    p_srv.add_argument("--cache", metavar="DIR", default=None,
+                       help="shared on-disk store (sharded, multi-process "
+                            "safe); omit for a per-server in-memory cache")
+    p_srv.add_argument("--queue-workers", type=int, default=2,
+                       help="background job workers (default 2)")
+    p_srv.add_argument("--max-pending", type=int, default=32,
+                       help="pending-job bound before 503 backpressure "
+                            "(default 32)")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="sweep workers per job (default 1; the cache "
+                            "already deduplicates across jobs)")
+    p_srv.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a shared --cache directory")
+    p_cache.add_argument("action", choices=["stats", "verify", "gc"],
+                         help="stats: entry/byte/shard counts; verify: "
+                              "load every blob and report corruption; "
+                              "gc: drop tmp/quarantined files and migrate "
+                              "pre-sharding flat entries")
+    p_cache.add_argument("--cache", metavar="DIR", required=True,
+                         help="the cache directory to operate on")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_cache.add_argument("--quarantine", action="store_true",
+                         help="with verify: move corrupt blobs aside")
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_desc = sub.add_parser("describe",
                             help="print scheme and process layout")

@@ -1,0 +1,93 @@
+"""One registry of the runnable experiments.
+
+``python -m repro experiment`` and the HTTP service
+(``/v1/experiment/<name>``) run the same drivers with the same quick /
+full parameterisations; this module is the single place those are
+spelled so the two front ends cannot drift.
+
+Every driver takes the shared :class:`repro.sweep.SweepRunner`, so the
+caller decides the worker count and cache (the service passes its
+persistent shared cache; misses computed for one client are hits for
+every later one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from . import fig8, fig9, fig10, fig11, modes, table1
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "experiment_names",
+           "format_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """How to produce and render one paper table/figure."""
+
+    name: str
+    #: ``run(quick, runner) -> points``
+    run: Callable[[bool, object], Sequence]
+    #: ``fmt(points) -> str`` (the human-readable table)
+    fmt: Callable[[Sequence], str]
+
+
+def _run_table1(quick: bool, runner) -> List:
+    return table1.run_table1(steps=8, runner=runner)
+
+
+def _run_fig8(quick: bool, runner) -> List:
+    seeds = (0,) if quick else (0, 1, 2)
+    return fig8.run_fig8(steps=8, seeds=seeds, runner=runner)
+
+
+def _run_fig9(quick: bool, runner) -> List:
+    if quick:
+        return fig9.run_fig9(n=7, steps=16, seeds=(0,), runner=runner)
+    return fig9.run_fig9_paper_scale(seeds=(0,), runner=runner)
+
+
+def _run_fig10(quick: bool, runner) -> List:
+    seeds = tuple(range(3 if quick else 10))
+    n = 7 if quick else 9
+    steps = 32 if quick else 128
+    return fig10.run_fig10(n=n, steps=steps, seeds=seeds, runner=runner)
+
+
+def _run_fig11(quick: bool, runner) -> List:
+    if quick:
+        return fig11.run_fig11(n=7, steps=16, diag_procs=(2, 4, 8),
+                               compute_scale=200.0, runner=runner)
+    return fig11.run_fig11_paper_scale(runner=runner)
+
+
+def _run_modes(quick: bool, runner) -> List:
+    if quick:
+        return modes.run_modes(runner=runner)
+    return modes.run_modes(n=7, steps=32, diag_procs=4,
+                           failure_counts=(1, 2, 3), runner=runner)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec("table1", _run_table1, table1.format_table1),
+    "fig8": ExperimentSpec("fig8", _run_fig8, fig8.format_fig8),
+    "fig9": ExperimentSpec("fig9", _run_fig9, fig9.format_fig9),
+    "fig10": ExperimentSpec("fig10", _run_fig10, fig10.format_fig10),
+    "fig11": ExperimentSpec("fig11", _run_fig11, fig11.format_fig11),
+    "modes": ExperimentSpec("modes", _run_modes, modes.format_modes),
+}
+
+
+def experiment_names() -> Tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(name: str, quick: bool, runner) -> Sequence:
+    """Run one experiment through ``runner``; raises ``KeyError`` for an
+    unknown name (front ends validate first)."""
+    return EXPERIMENTS[name].run(quick, runner)
+
+
+def format_experiment(name: str, points: Sequence) -> str:
+    return EXPERIMENTS[name].fmt(points)

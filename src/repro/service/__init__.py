@@ -1,0 +1,38 @@
+"""The persistent results service.
+
+Three layers turn the per-process sweep engine into a shared results
+store (ROADMAP item 4, "heavy traffic from millions of users"):
+
+* :mod:`repro.service.store` — a sharded, multi-process-safe on-disk
+  blob store (the persistent layer under
+  :class:`repro.sweep.cache.RunCache`);
+* :mod:`repro.service.jobqueue` — a bounded worker queue that coalesces
+  duplicate in-flight requests (N identical misses -> 1 execution);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a small
+  stdlib HTTP API (``python -m repro serve``) that serves experiment and
+  run JSON straight from cache and schedules misses in the background
+  with 202 + poll semantics.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobqueue import Job, JobQueue, QueueFull
+from .store import SharedStore, StoreStats
+
+__all__ = [
+    "Job", "JobQueue", "QueueFull",
+    "ServiceClient", "ServiceError",
+    "ServiceState", "create_server", "serve",
+    "SharedStore", "StoreStats",
+]
+
+_SERVER_NAMES = ("ServiceState", "create_server", "serve")
+
+
+def __getattr__(name):
+    # the server module imports the sweep engine, which itself uses
+    # .store as its disk layer — resolve server names lazily so the
+    # package import graph stays acyclic
+    if name in _SERVER_NAMES:
+        from . import server
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

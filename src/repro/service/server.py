@@ -1,0 +1,298 @@
+"""``python -m repro serve`` — the results service HTTP API.
+
+A small stdlib server (``http.server.ThreadingHTTPServer``, no new
+dependencies) in front of the shared run cache and the coalescing job
+queue:
+
+========================  =============================================
+``GET /healthz``          liveness: ``{"status": "ok", ...}``
+``GET /v1/cache/stats``   store + cache + queue + service metrics
+``GET /v1/experiment/N``  the experiment document for ``N`` (``table1``,
+                          ``fig8`` ... ``modes``).  Served straight from
+                          the cache when warm (200); a miss schedules a
+                          background job and answers **202** with a job
+                          id — poll the same URL until it flips to 200.
+                          ``?quick=0`` requests the full (paper-scale)
+                          variant; the default is the quick one.
+``GET /v1/run/KEY``       one cached run's metrics by content key (the
+                          fingerprints ``repro.sweep.cache.run_key``
+                          assigns); 404 when not cached — a key alone
+                          cannot be recomputed.
+``GET /v1/job/ID``        status of one background job.
+========================  =============================================
+
+Overload answers **503** (queue at capacity, with ``Retry-After``), and
+an experiment whose computation failed answers **500** with the error
+until ``?retry=1`` resubmits it.
+
+Experiment documents are deterministic — they embed no wall-clock or
+worker-count params — and are persisted in the same shared store as the
+individual runs, keyed by a content fingerprint of ``(name, quick,
+schema version)``: a warm document survives restarts, and a cold
+document's underlying runs are themselves cached, fleet-wide, so even a
+"cold" document after a restart only re-aggregates warm runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.registry import MetricsRegistry
+from .jobqueue import JobQueue, QueueFull, wall_now
+
+__all__ = ["ServiceState", "create_server", "serve"]
+
+#: /v1/run keys are hex fingerprints; /v1/job ids are job-<n>
+_KEY_RE = re.compile(r"^[0-9a-f]{6,64}$")
+_JOB_RE = re.compile(r"^job-\d+$")
+
+#: request-latency buckets — host milliseconds, not virtual seconds
+_REQUEST_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+                    5.0, 30.0)
+
+
+class ServiceState:
+    """Everything the handlers share: cache, queue, metrics, doc keys."""
+
+    def __init__(self, cache=None, queue_workers: int = 2,
+                 max_pending: int = 32, sweep_workers: int = 1,
+                 registry: Optional[MetricsRegistry] = None):
+        from ..sweep import RunCache
+        self.cache = cache if cache is not None else RunCache()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.queue = JobQueue(workers=queue_workers,
+                              max_pending=max_pending,
+                              registry=self.registry)
+        self.sweep_workers = sweep_workers
+        self.started = wall_now()
+        self._failures: dict = {}   # doc key -> last job error
+
+    # ------------------------------------------------------------------
+    def _count_lookup(self, kind: str, result: str) -> None:
+        self.registry.counter("service_cache", kind=kind,
+                              result=result).inc()
+
+    @staticmethod
+    def experiment_key(name: str, quick: bool) -> str:
+        """Content key of one experiment document (the unit the queue
+        coalesces on and the store persists)."""
+        from ..obs.schema import EXPERIMENT_SCHEMA_VERSION
+        from ..sweep.cache import fingerprint
+        return fingerprint(("experiment-doc", name, bool(quick),
+                            EXPERIMENT_SCHEMA_VERSION))
+
+    def _compute_experiment(self, name: str, quick: bool, key: str):
+        """The job body: run the experiment through the shared cache and
+        persist the validated document under ``key``."""
+        from ..experiments.registry import run_experiment
+        from ..experiments.report import experiment_json
+        from ..obs.schema import validate_experiment_doc
+        from ..sweep import SweepRunner
+
+        runner = SweepRunner(workers=self.sweep_workers, cache=self.cache)
+        points = run_experiment(name, quick, runner)
+        doc = experiment_json(name, points, params={"quick": bool(quick)})
+        validate_experiment_doc(doc)
+        self.cache.put(key, doc)
+        self._failures.pop(key, None)
+        return doc
+
+    # ------------------------------------------------------------------
+    # endpoint bodies: (http status, payload)
+    # ------------------------------------------------------------------
+    def healthz(self) -> Tuple[int, dict]:
+        return 200, {"status": "ok",
+                     "uptime_s": round(wall_now() - self.started, 3)}
+
+    def cache_stats(self) -> Tuple[int, dict]:
+        store = self.cache.store
+        return 200, {
+            "cache": self.cache.stats(),
+            "store": store.stats().to_dict() if store is not None else None,
+            "queue": self.queue.stats(),
+            "metrics": self.registry.to_dict(),
+        }
+
+    def experiment(self, name: str, quick: bool,
+                   retry: bool) -> Tuple[int, dict]:
+        from ..experiments.registry import EXPERIMENTS
+        if name not in EXPERIMENTS:
+            return 404, {"error": f"unknown experiment {name!r}",
+                         "known": sorted(EXPERIMENTS)}
+        key = self.experiment_key(name, quick)
+        doc = self.cache.load(key)
+        if doc is not None:
+            self._count_lookup("experiment", "hit")
+            return 200, doc
+        self._count_lookup("experiment", "miss")
+        if retry:
+            self._failures.pop(key, None)
+        error = self._failures.get(key)
+        if error is not None and self.queue.inflight(key) is None:
+            return 500, {"error": error, "experiment": name,
+                         "hint": "append ?retry=1 to recompute"}
+
+        def body(name=name, quick=quick, key=key):
+            try:
+                return self._compute_experiment(name, quick, key)
+            except Exception as exc:
+                # remembered so pollers see a 500, not an endless 202
+                self._failures[key] = f"{type(exc).__name__}: {exc}"
+                raise
+
+        try:
+            job = self.queue.submit(key, body,
+                                    label=f"experiment:{name}"
+                                          f"{'' if quick else ':full'}")
+        except QueueFull as exc:
+            return 503, {"error": str(exc), "retry_after_s": 1}
+        return 202, {"status": job.state, "job": job.id,
+                     "experiment": name, "quick": bool(quick),
+                     "key": key,
+                     "poll": f"/v1/experiment/{name}?quick="
+                             f"{1 if quick else 0}"}
+
+    def run(self, key: str) -> Tuple[int, dict]:
+        if not _KEY_RE.match(key):
+            return 400, {"error": f"malformed run key {key!r} "
+                                  "(expected a hex fingerprint)"}
+        value = self.cache.load(key)
+        if value is None:
+            self._count_lookup("run", "miss")
+            return 404, {"error": f"no cached run {key}",
+                         "hint": "runs are keyed by content fingerprint; "
+                                 "a key alone cannot be recomputed"}
+        self._count_lookup("run", "hit")
+        payload = value.to_dict() if hasattr(value, "to_dict") else value
+        return 200, {"key": key, "metrics": payload}
+
+    def job(self, job_id: str) -> Tuple[int, dict]:
+        if not _JOB_RE.match(job_id):
+            return 400, {"error": f"malformed job id {job_id!r}"}
+        job = self.queue.job(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id} "
+                                  "(finished jobs are kept briefly)"}
+        return 200, job.describe()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    #: set by create_server on the handler class
+    state: ServiceState = None
+    quiet = True
+
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, path: str, query: dict) -> Tuple[str, int, dict]:
+        """(endpoint label, status, payload) for one GET."""
+        state = self.state
+        if path in ("/healthz", "/health"):
+            return ("healthz", *state.healthz())
+        if path == "/v1/cache/stats":
+            return ("cache_stats", *state.cache_stats())
+        m = re.match(r"^/v1/experiment/([A-Za-z0-9_.-]+)$", path)
+        if m:
+            quick = _flag(query, "quick", default=True)
+            retry = _flag(query, "retry", default=False)
+            return ("experiment", *state.experiment(m.group(1), quick,
+                                                    retry))
+        m = re.match(r"^/v1/run/([A-Za-z0-9]+)$", path)
+        if m:
+            return ("run", *state.run(m.group(1)))
+        m = re.match(r"^/v1/job/([A-Za-z0-9-]+)$", path)
+        if m:
+            return ("job", *state.job(m.group(1)))
+        return "unknown", 404, {"error": f"no such endpoint {path}"}
+
+    def do_GET(self):  # noqa: N802 - stdlib dispatch name
+        t0 = wall_now()
+        url = urlparse(self.path)
+        try:
+            endpoint, status, payload = self._dispatch(
+                url.path, parse_qs(url.query))
+        except Exception as exc:   # a handler bug must not kill the server
+            endpoint, status = "internal", 500
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass                    # client went away; nothing to serve
+        reg = self.state.registry
+        reg.counter("service_requests", endpoint=endpoint,
+                    status=status).inc()
+        reg.histogram("service_request_seconds",
+                      buckets=_REQUEST_BUCKETS,
+                      endpoint=endpoint).observe(wall_now() - t0)
+
+
+def _flag(query: dict, name: str, default: bool) -> bool:
+    vals = query.get(name)
+    if not vals:
+        return default
+    return vals[-1].strip().lower() not in ("0", "false", "no", "")
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0,
+                  cache_dir: Optional[str] = None,
+                  queue_workers: int = 2, max_pending: int = 32,
+                  sweep_workers: int = 1,
+                  quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-run server; ``port=0`` binds an ephemeral port
+    (``server.server_address[1]`` reports it).  The caller owns the
+    lifecycle: ``serve_forever()`` / ``shutdown()`` / ``server_close()``,
+    plus ``server.state.queue.shutdown()`` for the workers."""
+    from ..sweep import RunCache
+    state = ServiceState(cache=RunCache(directory=cache_dir),
+                         queue_workers=queue_workers,
+                         max_pending=max_pending,
+                         sweep_workers=sweep_workers)
+    handler = type("BoundHandler", (_Handler,),
+                   {"state": state, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.state = state
+    return server
+
+
+def serve(host: str = "127.0.0.1", port: int = 8642,
+          cache_dir: Optional[str] = None, queue_workers: int = 2,
+          max_pending: int = 32, sweep_workers: int = 1,
+          quiet: bool = False) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    import sys
+    server = create_server(host, port, cache_dir=cache_dir,
+                           queue_workers=queue_workers,
+                           max_pending=max_pending,
+                           sweep_workers=sweep_workers, quiet=quiet)
+    bound = server.server_address
+    where = cache_dir if cache_dir \
+        else "in-memory only; pass --cache DIR to persist"
+    print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
+          f"(cache: {where})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.state.queue.shutdown(wait=False)
+    return 0

@@ -21,15 +21,26 @@ reasons: a cache hit hands back an *owned* deep copy that the caller may
 mutate freely, and the serial (``workers=1``) path exercises exactly the
 same transport contract as the process pool, so "it only breaks under
 ``--workers``" bugs cannot exist.
+
+The on-disk layer is a :class:`repro.service.store.SharedStore`:
+sharded fingerprint-prefix subdirectories, atomic tmp-file +
+``os.replace`` writes, and lock-free last-writer-wins reads, so any
+number of processes (sweep clients, ``repro serve`` workers) may share
+one ``--cache DIR``.  A blob that fails to unpickle — a crashed writer
+on a pre-sharding cache, a torn copy — is quarantined on disk and the
+key reads as a miss, so corruption can cost a recompute but never an
+exception or a wrong result.
 """
 
 from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 from dataclasses import fields, is_dataclass
-from pathlib import Path
 from typing import Dict, Optional
+
+from ..service.store import SharedStore
 
 __all__ = ["RunCache", "cacheable", "fingerprint", "run_key"]
 
@@ -99,64 +110,98 @@ class RunCache:
     """Pickle-blob store of run metrics, in memory plus optional disk.
 
     The in-memory layer is always on; passing ``directory`` adds a
-    write-through on-disk layer (one ``<key>.pkl`` per entry) that
-    survives the process — the ``--cache DIR`` flag of the experiment
-    drivers.  ``hits``/``misses`` count lookups, including points a
-    :class:`~repro.sweep.runner.SweepRunner` deduplicated within a single
-    batch (computed once, served twice is one miss plus one hit).
+    write-through on-disk :class:`~repro.service.store.SharedStore`
+    layer (sharded, atomic, multi-process-safe) that survives the
+    process — the ``--cache DIR`` flag of the experiment drivers and the
+    store behind ``repro serve``.  ``hits``/``misses`` count lookups,
+    including points a :class:`~repro.sweep.runner.SweepRunner`
+    deduplicated within a single batch (computed once, served twice is
+    one miss plus one hit).
+
+    All methods are thread-safe: the HTTP service shares one instance
+    between its request handlers and its job-queue workers.
     """
 
     def __init__(self, directory: Optional[str] = None):
         self._mem: Dict[str, bytes] = {}
-        self.directory = Path(directory) if directory else None
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self.store: Optional[SharedStore] = \
+            SharedStore(directory) if directory else None
         self.hits = 0
         self.misses = 0
 
-    # ------------------------------------------------------------------
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.pkl"
+    @property
+    def directory(self):
+        return self.store.directory if self.store is not None else None
 
+    # ------------------------------------------------------------------
     def _blob(self, key: str) -> Optional[bytes]:
-        blob = self._mem.get(key)
-        if blob is None and self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                blob = path.read_bytes()
-                self._mem[key] = blob
+        with self._lock:
+            blob = self._mem.get(key)
+        if blob is None and self.store is not None:
+            blob = self.store.get(key)
+            if blob is not None:
+                with self._lock:
+                    self._mem[key] = blob
         return blob
+
+    def _loads(self, key: str, blob: bytes):
+        """Unpickle ``blob``; a corrupt blob (torn write on a
+        pre-sharding cache, bad copy) is quarantined on disk, dropped
+        from memory, and reads as a miss."""
+        try:
+            return pickle.loads(blob)
+        except Exception:  # noqa: ULF001 - any unpickle failure means corrupt, not MPI
+            with self._lock:
+                self._mem.pop(key, None)
+            if self.store is not None:
+                self.store.quarantine(key)
+            return None
 
     # ------------------------------------------------------------------
     def get(self, key: str):
         """The cached metrics for ``key`` (an owned copy), or ``None``."""
         blob = self._blob(key)
-        if blob is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return pickle.loads(blob)
+        value = None if blob is None else self._loads(key, blob)
+        with self._lock:
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return value
 
     def load(self, key: str):
         """Like :meth:`get` but without touching the hit/miss counters
         (used to fan one executed result out to deduplicated points)."""
         blob = self._blob(key)
-        return None if blob is None else pickle.loads(blob)
+        return None if blob is None else self._loads(key, blob)
 
     def put(self, key: str, metrics) -> None:
         blob = pickle.dumps(metrics)
-        self._mem[key] = blob
-        if self.directory is not None:
-            self._path(key).write_bytes(blob)
+        with self._lock:
+            self._mem[key] = blob
+        if self.store is not None:
+            self.store.put(key, blob)
 
     def note_hit(self) -> None:
         """Count a point served without execution outside :meth:`get`
         (batch-internal deduplication)."""
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
 
     # ------------------------------------------------------------------
+    def _all_keys(self) -> set:
+        with self._lock:
+            keys = set(self._mem)
+        if self.store is not None:
+            keys.update(self.store.keys())
+        return keys
+
     def __len__(self) -> int:
-        return len(self._mem)
+        """Distinct entries across both layers: a fresh process pointed
+        at a warm ``--cache DIR`` counts the disk entries it can serve,
+        not the none it has touched."""
+        return len(self._all_keys())
 
     def __contains__(self, key: str) -> bool:
         return self._blob(key) is not None
@@ -167,5 +212,13 @@ class RunCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {"entries": len(self._mem), "hits": self.hits,
-                "misses": self.misses, "hit_rate": round(self.hit_rate, 4)}
+        with self._lock:
+            memory_entries = len(self._mem)
+            hits, misses = self.hits, self.misses
+        disk_entries = len(self.store) if self.store is not None else 0
+        total = hits + misses
+        return {"entries": len(self),
+                "memory_entries": memory_entries,
+                "disk_entries": disk_entries,
+                "hits": hits, "misses": misses,
+                "hit_rate": round(hits / total, 4) if total else 0.0}

@@ -1,0 +1,271 @@
+"""The HTTP API: 202+poll semantics, warm hits, dedup, error paths.
+
+Experiment endpoints are exercised against *fake* registry entries
+(fast, controllable, including a failing one) — the real drivers are
+covered by the CLI/experiment suites and the end-to-end smoke script.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import RunMetrics
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import create_server
+
+
+def _fake_points(quick, runner):
+    return [{"value": 1.5, "quick": bool(quick)}]
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    monkeypatch.setitem(
+        EXPERIMENTS, "fake",
+        ExperimentSpec("fake", _fake_points, lambda pts: "fake"))
+
+    def broken(quick, runner):
+        raise RuntimeError("driver exploded")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "broken",
+        ExperimentSpec("broken", broken, lambda pts: "broken"))
+
+
+@pytest.fixture
+def service(tmp_path, fake_experiments):
+    server = create_server(port=0, cache_dir=str(tmp_path / "cache"),
+                           queue_workers=2, max_pending=8)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}", timeout=10)
+    client.wait_healthy()
+    yield server, client
+    server.shutdown()
+    server.server_close()
+    server.state.queue.shutdown()
+
+
+def test_healthz(service):
+    _, client = service
+    doc = client.healthz()
+    assert doc["status"] == "ok"
+    assert doc["uptime_s"] >= 0
+
+
+def test_unknown_endpoint_404(service):
+    _, client = service
+    status, payload = client.get("/v1/nope")
+    assert status == 404
+    assert "error" in payload
+
+
+def test_cold_202_then_poll_to_200(service):
+    _, client = service
+    status, ticket = client.experiment_once("fake")
+    assert status == 202
+    assert ticket["status"] in ("pending", "running")
+    assert ticket["job"].startswith("job-")
+    assert ticket["poll"] == "/v1/experiment/fake?quick=1"
+    doc = client.experiment("fake", timeout=30)
+    assert doc["experiment"] == "fake"
+    assert doc["points"] == [{"value": 1.5, "quick": True}]
+    assert doc["params"] == {"quick": True}
+
+
+def test_warm_request_immediate_200(service):
+    _, client = service
+    client.experiment("fake", timeout=30)
+    status, doc = client.experiment_once("fake")
+    assert status == 200
+    assert doc["points"] == [{"value": 1.5, "quick": True}]
+
+
+def test_quick_and_full_are_distinct_documents(service):
+    _, client = service
+    quick = client.experiment("fake", quick=True, timeout=30)
+    full = client.experiment("fake", quick=False, timeout=30)
+    assert quick["points"][0]["quick"] is True
+    assert full["points"][0]["quick"] is False
+
+
+def test_unknown_experiment_404(service):
+    _, client = service
+    status, payload = client.get("/v1/experiment/nope")
+    assert status == 404
+    assert "nope" in payload["error"]
+    with pytest.raises(ServiceError):
+        client.experiment("nope")
+
+
+def test_concurrent_identical_requests_coalesce(service, monkeypatch):
+    server, client = service
+    release = threading.Event()
+    started = threading.Event()
+
+    def slow(quick, runner):
+        started.set()
+        release.wait(10)
+        return [{"value": 2.0}]
+
+    monkeypatch.setitem(EXPERIMENTS, "slow",
+                        ExperimentSpec("slow", slow, lambda pts: "slow"))
+    tickets = []
+
+    def fire():
+        tickets.append(client.experiment_once("slow"))
+
+    fire()
+    assert started.wait(10)
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    release.set()
+    assert [s for s, _ in tickets] == [202] * 5
+    assert len({p["job"] for _, p in tickets}) == 1     # one shared job
+    doc = client.experiment("slow", timeout=30)
+    assert doc["points"] == [{"value": 2.0}]
+    queue_stats = client.cache_stats()["queue"]
+    assert queue_stats["deduped"] >= 4
+    # the job body ran exactly once for this key
+    assert queue_stats["executed"] == 1
+
+
+def test_failed_experiment_answers_500_until_retry(service, monkeypatch):
+    _, client = service
+    status, _ = client.experiment_once("broken")
+    assert status == 202
+    # poll until the failure lands
+    deadline = 50
+    for _ in range(deadline):
+        status, payload = client.experiment_once("broken")
+        if status == 500:
+            break
+        threading.Event().wait(0.05)
+    assert status == 500
+    assert "driver exploded" in payload["error"]
+    # a repaired driver + ?retry=1 recomputes
+    monkeypatch.setitem(
+        EXPERIMENTS, "broken",
+        ExperimentSpec("broken", _fake_points, lambda pts: "broken"))
+    status, _ = client.get("/v1/experiment/broken?retry=1")
+    assert status == 202
+    doc = client.experiment("broken", timeout=30)
+    assert doc["points"] == [{"value": 1.5, "quick": True}]
+
+
+def test_run_endpoint_serves_cached_metrics(service):
+    server, client = service
+    metrics = RunMetrics(technique="CR", machine="OPL", n=6, level=4,
+                         steps=4, world_size=9)
+    key = "ab" * 20
+    server.state.cache.put(key, metrics)
+    doc = client.run(key)
+    assert doc["key"] == key
+    assert doc["metrics"]["technique"] == "CR"
+    assert doc["metrics"]["world_size"] == 9
+
+
+def test_run_endpoint_miss_and_malformed(service):
+    _, client = service
+    status, _ = client.get("/v1/run/" + "cd" * 20)
+    assert status == 404
+    status, payload = client.get("/v1/run/XYZ")
+    assert status == 400
+    assert "malformed" in payload["error"]
+
+
+def test_job_endpoint(service):
+    _, client = service
+    _, ticket = client.experiment_once("fake")
+    job_id = ticket["job"]
+    client.experiment("fake", timeout=30)
+    doc = client.job(job_id)
+    assert doc["job"] == job_id
+    assert doc["status"] == "done"
+    assert doc["label"] == "experiment:fake"
+    status, _ = client.get("/v1/job/job-999999")
+    assert status == 404
+    status, _ = client.get("/v1/job/%20")
+    assert status == 404     # does not match the job route at all
+
+
+def test_queue_full_answers_503(tmp_path, fake_experiments, monkeypatch):
+    server = create_server(port=0, cache_dir=str(tmp_path / "c2"),
+                           queue_workers=1, max_pending=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}", timeout=10)
+    client.wait_healthy()
+    release = threading.Event()
+    started = threading.Event()
+    try:
+        def slow(quick, runner):
+            started.set()
+            release.wait(10)
+            return [{"v": 1}]
+
+        for name in ("s1", "s2", "s3"):
+            monkeypatch.setitem(
+                EXPERIMENTS, name,
+                ExperimentSpec(name, slow, lambda pts: name))
+        assert client.experiment_once("s1")[0] == 202   # worker busy
+        assert started.wait(10)
+        assert client.experiment_once("s2")[0] == 202   # queue full now
+        status, payload = client.experiment_once("s3")
+        assert status == 503
+        assert "capacity" in payload["error"]
+        assert payload["retry_after_s"] == 1
+    finally:
+        release.set()
+        server.shutdown()
+        server.server_close()
+        server.state.queue.shutdown()
+
+
+def test_cache_stats_endpoint_shape(service):
+    _, client = service
+    client.experiment("fake", timeout=30)
+    doc = client.cache_stats()
+    assert doc["store"]["format_version"] == 1
+    assert doc["cache"]["entries"] >= 1
+    assert doc["queue"]["executed"] >= 1
+    names = {c["name"] for c in doc["metrics"]["counters"]}
+    assert "service_requests" in names
+    assert "service_cache" in names
+    hists = {h["name"] for h in doc["metrics"]["histograms"]}
+    assert "service_request_seconds" in hists
+
+
+def test_document_survives_restart(tmp_path, fake_experiments):
+    cache_dir = str(tmp_path / "persist")
+
+    def boot():
+        server = create_server(port=0, cache_dir=cache_dir)
+        t = threading.Thread(target=server.serve_forever, daemon=True)
+        t.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}", timeout=10)
+        client.wait_healthy()
+        return server, client
+
+    server, client = boot()
+    client.experiment("fake", timeout=30)
+    server.shutdown()
+    server.server_close()
+    server.state.queue.shutdown()
+
+    server, client = boot()
+    try:
+        status, doc = client.experiment_once("fake")
+        assert status == 200                 # warm straight from disk
+        assert doc["points"] == [{"value": 1.5, "quick": True}]
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.state.queue.shutdown()

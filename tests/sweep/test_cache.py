@@ -85,7 +85,8 @@ def test_cache_round_trip_and_stats():
     assert got.t_solve == 1.5
     assert len(c) == 1 and key in c
     s = c.stats()
-    assert s == {"entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5}
+    assert s == {"entries": 1, "memory_entries": 1, "disk_entries": 0,
+                 "hits": 1, "misses": 1, "hit_rate": 0.5}
 
 
 def test_cache_returns_owned_copies():
@@ -114,3 +115,75 @@ def test_in_memory_cache_does_not_persist():
     c1 = RunCache()
     c1.put("k", _metrics())
     assert RunCache().get("k") is None
+
+
+def test_disk_layer_is_sharded_and_atomic(tmp_path):
+    d = str(tmp_path / "cache")
+    c = RunCache(directory=d)
+    c.put("deadbeef", _metrics())
+    shard = c.store.directory / "de" / "deadbeef.pkl"
+    assert shard.is_file()
+    assert c.store.stats().tmp_files == 0
+
+
+def test_corrupt_disk_blob_is_a_miss_and_quarantined(tmp_path):
+    """Regression: a truncated blob (crashed writer on the pre-sharding
+    layout) must read as a miss, not crash ``pickle.loads``."""
+    d = str(tmp_path / "cache")
+    c1 = RunCache(directory=d)
+    c1.put("deadbeef", _metrics(t_total=3.0))
+    path = c1.store.path_for("deadbeef")
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])      # torn write
+
+    c2 = RunCache(directory=d)
+    assert c2.get("deadbeef") is None
+    assert c2.stats()["misses"] == 1
+    # the bad blob is quarantined, not deleted and not retried
+    assert not path.exists()
+    assert c2.store.stats().corrupt == 1
+    # the key is writable again and round-trips
+    c2.put("deadbeef", _metrics(t_total=4.0))
+    assert RunCache(directory=d).get("deadbeef").t_total == 4.0
+
+
+def test_corrupt_legacy_flat_blob_is_quarantined(tmp_path):
+    d = tmp_path / "cache"
+    d.mkdir()
+    (d / "deadbeef.pkl").write_bytes(b"not a pickle")
+    c = RunCache(directory=str(d))
+    assert c.get("deadbeef") is None
+    assert not (d / "deadbeef.pkl").exists()
+    assert (d / "deadbeef.corrupt").exists()
+
+
+def test_fresh_process_counts_disk_entries(tmp_path):
+    """Regression: a fresh RunCache over a warm --cache DIR used to
+    report ``entries: 0`` (it counted only the in-memory layer)."""
+    d = str(tmp_path / "cache")
+    c1 = RunCache(directory=d)
+    c1.put("deadbeef", _metrics())
+    c1.put("cafebabe", _metrics())
+
+    c2 = RunCache(directory=d)
+    assert len(c2) == 2
+    s = c2.stats()
+    assert s["entries"] == 2
+    assert s["disk_entries"] == 2
+    assert s["memory_entries"] == 0
+    # an entry in both layers is counted once
+    c2.get("deadbeef")
+    assert c2.stats()["entries"] == 2
+    assert c2.stats()["memory_entries"] == 1
+
+
+def test_legacy_flat_cache_dir_still_serves(tmp_path):
+    """Caches written before sharding (flat <key>.pkl) keep working."""
+    import pickle
+
+    d = tmp_path / "cache"
+    d.mkdir()
+    (d / "deadbeef.pkl").write_bytes(pickle.dumps(_metrics(t_total=7.0)))
+    c = RunCache(directory=str(d))
+    assert c.get("deadbeef").t_total == 7.0
+    assert len(c) == 1

@@ -86,8 +86,9 @@ def test_cross_batch_memoisation():
     p = SweepPoint(cfg(), IDEAL)
     first = runner.run_one(p)
     again = runner.run_one(p)
-    assert runner.cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
-                                    "hit_rate": 0.5}
+    assert runner.cache.stats() == {"entries": 1, "memory_entries": 1,
+                                    "disk_entries": 0, "hits": 1,
+                                    "misses": 1, "hit_rate": 0.5}
     assert first.to_dict() == again.to_dict()
 
 

@@ -1,0 +1,108 @@
+"""Multi-process shared-cache access.
+
+Two or more processes sweeping overlapping point sets against one
+``--cache DIR`` must finish with no lost updates, no partial reads, and
+bit-identical metrics to a serial run — the contract that lets any
+number of sweep clients and ``repro serve`` workers share one store.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core import AppConfig
+from repro.machine.presets import IDEAL, OPL
+from repro.sweep import RunCache, SweepPoint, SweepRunner
+
+
+def _cfg(technique="CR", steps=4):
+    return AppConfig(n=6, level=4, technique_code=technique, steps=steps,
+                     diag_procs=2)
+
+
+def _points():
+    return [SweepPoint(_cfg(t, s), m)
+            for m in (IDEAL, OPL)
+            for t in ("CR", "AC")
+            for s in (2, 4)]
+
+
+def _sweep_proc(cache_dir, lo, hi, out):
+    """One client process: sweep a slice of the grid through the shared
+    cache and ship the pickled metrics back."""
+    runner = SweepRunner(workers=1, cache=RunCache(directory=cache_dir))
+    results = runner.run(_points()[lo:hi])
+    out.put(pickle.dumps(((lo, hi), [vars(m) for m in results])))
+
+
+@pytest.mark.slow
+def test_overlapping_sweeps_share_one_store_bit_identically(tmp_path):
+    cache_dir = str(tmp_path / "shared")
+    points = _points()
+    # overlapping slices: [0, 6) and [2, 8) — four points in common
+    slices = [(0, 6), (2, len(points))]
+
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_sweep_proc,
+                         args=(cache_dir, lo, hi, out))
+             for lo, hi in slices]
+    for p in procs:
+        p.start()
+    payloads = [pickle.loads(out.get(timeout=300)) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    # serial reference, cold cache, same process
+    reference = SweepRunner(workers=1).run(points)
+    ref_dicts = [vars(m) for m in reference]
+
+    # both clients saw bit-identical metrics for their slices (queue
+    # order is arbitrary; each payload names its slice)
+    assert {s for s, _ in payloads} == set(slices)
+    for (lo, hi), dicts in payloads:
+        assert dicts == ref_dicts[lo:hi]
+
+    # no partial writes, no quarantine events, no lost entries: the
+    # store holds every distinct point exactly once and all blobs load
+    shared = RunCache(directory=cache_dir)
+    distinct = {pt.key() for pt in points}
+    assert shared.store.stats().tmp_files == 0
+    assert shared.store.stats().corrupt == 0
+    assert set(shared.store.keys()) == distinct
+    for key in distinct:
+        cached = shared.get(key)
+        assert cached is not None
+
+    # a fresh client over the warm store reproduces the serial run
+    # without executing anything
+    warm = SweepRunner(workers=1, cache=RunCache(directory=cache_dir))
+    again = warm.run(points)
+    assert [vars(m) for m in again] == ref_dicts
+    assert warm.cache.stats()["misses"] == 0
+
+
+@pytest.mark.slow
+def test_concurrent_identical_sweeps_last_writer_wins(tmp_path):
+    """Both processes run the *same* full set: every key is written by
+    both, racing — last writer wins must still serve complete blobs."""
+    cache_dir = str(tmp_path / "race")
+    n = len(_points())
+
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_sweep_proc, args=(cache_dir, 0, n, out))
+             for _ in range(2)]
+    for p in procs:
+        p.start()
+    payloads = [pickle.loads(out.get(timeout=300))[1] for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    assert payloads[0] == payloads[1]
+    store = RunCache(directory=cache_dir).store
+    assert store.stats().tmp_files == 0
+    assert store.verify()["corrupt"] == []

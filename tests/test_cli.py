@@ -166,3 +166,66 @@ def test_timeline_from_traced_run(tmp_path, capsys):
 def test_timeline_missing_file_errors():
     with pytest.raises(SystemExit, match="no such trace file"):
         main(["timeline", "/nonexistent/trace.jsonl"])
+
+
+def _seed_cache(directory):
+    from repro.sweep import RunCache
+    cache = RunCache(directory=str(directory))
+    cache.put("deadbeef", {"t_total": 1.0})
+    cache.put("cafebabe", {"t_total": 2.0})
+    return cache
+
+
+def test_cache_stats_subcommand(tmp_path, capsys):
+    d = tmp_path / "cache"
+    _seed_cache(d)
+    rc = main(["cache", "stats", "--cache", str(d), "--json"])
+    stats = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert stats["entries"] == 2
+    assert stats["shards"] == 2
+    assert stats["corrupt"] == 0
+
+
+def test_cache_verify_flags_corrupt_blob(tmp_path, capsys):
+    d = tmp_path / "cache"
+    cache = _seed_cache(d)
+    path = cache.store.path_for("deadbeef")
+    path.write_bytes(path.read_bytes()[:4])        # torn write
+    rc = main(["cache", "verify", "--cache", str(d)])
+    out = capsys.readouterr().out
+    assert rc == 1                                 # findings -> exit 1
+    assert "deadbeef" in out
+    # quarantine, then gc sweeps the quarantined blob away
+    assert main(["cache", "verify", "--cache", str(d),
+                 "--quarantine"]) == 1
+    capsys.readouterr()
+    rc = main(["cache", "gc", "--cache", str(d), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert report["corrupt_removed"] == 1
+    assert main(["cache", "verify", "--cache", str(d)]) == 0
+
+
+def test_cache_missing_directory_is_usage_error(capsys):
+    rc = main(["cache", "stats", "--cache", "/nonexistent/cache"])
+    assert rc == 2
+    assert "no such cache" in capsys.readouterr().err
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--cache", "/tmp/c"])
+    assert args.port == 8642
+    assert args.queue_workers == 2
+    assert args.max_pending == 32
+    assert args.cache == "/tmp/c"
+
+
+def test_experiment_names_match_service_registry():
+    """The CLI's experiment choices and the HTTP service must expose the
+    same catalogue — both sit on the same registry."""
+    from repro.experiments.registry import experiment_names
+    args = build_parser().parse_args(["experiment", "table1"])
+    assert args.name in experiment_names()
+    for name in experiment_names():
+        assert build_parser().parse_args(["experiment", name]).name == name
